@@ -1,0 +1,23 @@
+"""Ablation — Algorithm 1's balanced pivot vs a naive first-unused bit.
+
+Choosing the unused bit whose one-frequency is closest to 50 % keeps the
+recursion shallow and the partitions near MAX_P; a naive pivot produces
+lopsided splits (deep recursions, fragmented partitions) and degrades
+both consolidation time and matching throughput.
+"""
+
+from repro.harness import experiments
+
+
+def test_ablation_pivot(benchmark, workload, publish):
+    result = benchmark.pedantic(
+        lambda: experiments.ablation_pivot(workload), rounds=1, iterations=1
+    )
+    publish(result)
+    data = result.data
+
+    # The naive pivot fragments the database into more partitions.
+    assert data["partitions_first_unused"] >= data["partitions_balanced"]
+
+    # Balanced pivoting is not slower to match against (within noise).
+    assert data["qps_balanced"] > 0.6 * data["qps_first_unused"]

@@ -1,0 +1,23 @@
+"""Ablation — the Algorithm 4 thread-block pre-filter on vs off.
+
+The paper calls pre-filtering "the first and most significant
+optimization" of the subset-match kernel.  With large partitions the
+pre-filter skips whole thread blocks whose common prefix is absent from
+a query; disabling it forces the full scan.
+"""
+
+from repro.harness import experiments
+
+
+def test_ablation_prefilter(benchmark, workload, publish):
+    result = benchmark.pedantic(
+        lambda: experiments.ablation_prefilter(workload), rounds=1, iterations=1
+    )
+    publish(result)
+    data = result.data
+
+    # The pre-filter reduces simulated device work.
+    assert data["sim_kernel_s_on"] < data["sim_kernel_s_off"]
+
+    # It never hurts wall-clock throughput materially.
+    assert data["qps_on"] > 0.7 * data["qps_off"]

@@ -1,0 +1,36 @@
+"""Figure 11 — MongoDB sharding scalability.
+
+Paper shape: throughput grows roughly linearly up to 8 instances and
+saturates after (the paper reaches ~3x overall at 24 instances) — useful
+but far from enough to approach TagMatch, which would need tens of
+thousands of instances.  Shard execution is modeled as parallel from
+measured per-shard scan times and measured router dispatch overhead
+(the host has a single core; see the experiment docstring).
+"""
+
+from repro.harness import experiments
+
+INSTANCES = (1, 2, 4, 8, 16, 24)
+
+
+def test_fig11_mongo_sharding(benchmark, publish):
+    result = benchmark.pedantic(
+        lambda: experiments.fig11_mongo_sharding(INSTANCES), rounds=1, iterations=1
+    )
+    publish(result)
+    qps = result.data["qps"]
+    instances = result.data["instances"]
+    idx8 = instances.index(8)
+    idx24 = instances.index(24)
+
+    # Roughly linear benefit up to 8 instances.
+    assert qps[1] > 1.3 * qps[0]
+    assert qps[idx8] > 3 * qps[0]
+
+    # ...then clear saturation: the 8->24 step gains far less than 1->8.
+    gain_low = qps[idx8] / qps[0]
+    gain_high = qps[idx24] / qps[idx8]
+    assert gain_high < 0.6 * gain_low
+
+    # Overall speedup stays deeply sublinear (paper: ~3x at 24).
+    assert qps[idx24] / qps[0] < 12

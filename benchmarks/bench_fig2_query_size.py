@@ -1,0 +1,29 @@
+"""Figure 2 — input throughput vs number of extra query tags.
+
+Paper shape (log scale): both systems slow down markedly as queries grow
+from 1 to 10 extra tags (more one-bits match more partition masks and
+more sets), and TagMatch stays about an order of magnitude ahead of the
+prefix tree across the whole sweep.
+"""
+
+from repro.harness import experiments
+
+EXTRA_TAGS = tuple(range(1, 11))
+
+
+def test_fig2_query_size(benchmark, workload, publish):
+    result = benchmark.pedantic(
+        lambda: experiments.fig2_fig3_query_size(workload, EXTRA_TAGS),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result)
+    tm = result.data["tm_qps"]
+    tree = result.data["tree_qps"]
+
+    # Larger queries are slower for both systems (ends of the sweep).
+    assert tm[0] > tm[-1]
+    assert tree[0] > tree[-1]
+
+    # TagMatch leads the tree across the whole sweep.
+    assert all(t > r for t, r in zip(tm, tree))

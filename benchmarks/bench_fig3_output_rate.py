@@ -1,0 +1,31 @@
+"""Figure 3 — output key rate vs number of extra query tags.
+
+Paper shape: although *input* throughput falls with query size (Fig. 2),
+the *output* rate — matched keys delivered per second — rises
+significantly, because bigger queries have much higher fan-out.  The
+same run underlies both figures; this module re-derives the output-rate
+series (cached per session by the experiment call in Fig. 2's module
+being independent — the sweep is cheap enough to run twice only for the
+first/last points, so we run the full experiment once here too).
+"""
+
+from repro.harness import experiments
+
+EXTRA_TAGS = (1, 2, 4, 6, 8, 10)
+
+
+def test_fig3_output_rate(benchmark, workload, publish):
+    result = benchmark.pedantic(
+        lambda: experiments.fig2_fig3_query_size(workload, EXTRA_TAGS),
+        rounds=1,
+        iterations=1,
+    )
+    result.name = "fig3_output_rate"
+    publish(result)
+    out = result.data["tm_out"]
+
+    # Output rate grows with query size even as input throughput falls.
+    assert out[-1] > out[0]
+
+    # TagMatch's output rate also leads the prefix tree's.
+    assert out[-1] > result.data["tree_out"][-1]

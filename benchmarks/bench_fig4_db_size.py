@@ -1,0 +1,31 @@
+"""Figure 4 — throughput vs database size (20 %–100 %).
+
+Paper shape: TagMatch falls from ~140 kq/s at 20 % to ~35 kq/s (match) /
+~30 kq/s (match-unique) at 100 %; the prefix tree falls from ~14 kq/s to
+~4.4 kq/s; TagMatch leads by roughly an order of magnitude throughout,
+and match is slightly faster than match-unique.
+"""
+
+from repro.harness import experiments
+
+
+def test_fig4_db_size(benchmark, workload, publish):
+    result = benchmark.pedantic(
+        lambda: experiments.fig4_db_size(workload), rounds=1, iterations=1
+    )
+    publish(result)
+    data = result.data
+
+    # Bigger databases are slower for every series.
+    for series in ("tm_match", "tm_unique", "tree_match", "tree_unique"):
+        assert data[series][0] > data[series][-1], series
+
+    # TagMatch leads the prefix tree at every size, in both modes.
+    assert all(t > r for t, r in zip(data["tm_match"], data["tree_match"]))
+    assert all(t > r for t, r in zip(data["tm_unique"], data["tree_unique"]))
+
+    # match and match-unique stay close for the tree (paper: both ~4.4k).
+    assert all(
+        0.4 < m / u < 2.5
+        for m, u in zip(data["tree_match"], data["tree_unique"])
+    )

@@ -1,0 +1,35 @@
+"""Figure 7 — throughput vs maximum partition size (MAX_P).
+
+Paper shape: throughput rises with MAX_P, peaks around 200 K sets per
+partition, and stays roughly stable beyond; match and match-unique track
+each other.  MAX_P here sweeps the equivalent scaled range.
+"""
+
+from repro.harness import experiments
+
+MAXP_VALUES = (50, 100, 200, 400, 800, 1600, 3200, 6400)
+
+
+def test_fig7_maxp(benchmark, workload, publish):
+    result = benchmark.pedantic(
+        lambda: experiments.fig7_maxp(workload, MAXP_VALUES), rounds=1, iterations=1
+    )
+    publish(result)
+    match = result.data["match"]
+    unique = result.data["unique"]
+
+    # The knob matters: best and worst settings differ measurably.
+    assert max(match) > 1.2 * min(match)
+
+    # The curve is stable near its optimum: the best setting's neighbours
+    # are within a modest band of the peak (no knife-edge).
+    best = match.index(max(match))
+    neighbours = [match[i] for i in (best - 1, best + 1) if 0 <= i < len(match)]
+    assert all(v > 0.5 * match[best] for v in neighbours)
+
+    # match and match-unique do not differ significantly (paper text).
+    assert all(0.4 < m / u < 2.5 for m, u in zip(match, unique))
+
+    # Fewer partitions for larger MAX_P (sanity of the sweep itself).
+    partitions = result.data["partitions"]
+    assert partitions[0] > partitions[-1]

@@ -1,0 +1,31 @@
+"""Figure 8 — off-line partitioning time vs database size (+ §4.3.6).
+
+Paper shape: the balanced partitioning of Algorithm 1 is linear in the
+number of sets, topping out around 50 s for the full 200 M-set workload;
+MongoDB needs ~33 s to index just 5 M sets, for which partitioning takes
+~2 s (a ~16x gap).
+"""
+
+from repro.harness import experiments
+
+
+def test_fig8_partitioning_time(benchmark, workload, publish):
+    result = benchmark.pedantic(
+        lambda: experiments.fig8_partitioning_time(workload), rounds=1, iterations=1
+    )
+    publish(result)
+    sets = result.data["sets"]
+    seconds = result.data["seconds"]
+
+    # Roughly linear: time per set at the largest size is within a small
+    # factor of the smallest size (quadratic growth would blow this up).
+    per_set_small = seconds[0] / sets[0]
+    per_set_large = seconds[-1] / sets[-1]
+    assert per_set_large < 8 * per_set_small
+
+    # More sets take more time end-to-end.
+    assert seconds[-1] > seconds[0]
+
+    # §4.3.6: MongoDB's index build is much slower than partitioning on
+    # the same (scaled 5M-set) database.
+    assert result.data["mongo_index_s"][0] > result.data["partition_5m_s"][0]

@@ -1,0 +1,29 @@
+"""Figure 9 — host vs GPU memory usage vs database size.
+
+Paper shape: both sides grow with the database; host memory is dominated
+by the key table, GPU memory by the tagset table (which is replicated on
+both devices), with small fixed communication overheads.
+"""
+
+from repro.harness import experiments
+
+
+def test_fig9_memory(benchmark, workload, publish):
+    result = benchmark.pedantic(
+        lambda: experiments.fig9_memory(workload), rounds=1, iterations=1
+    )
+    publish(result)
+    host = result.data["host_mb"]
+    gpu = result.data["gpu_mb"]
+
+    # Memory grows monotonically with the database on both sides.
+    assert all(a <= b * 1.02 for a, b in zip(host, host[1:]))
+    assert all(a <= b * 1.02 for a, b in zip(gpu, gpu[1:]))
+
+    # Five times the database costs roughly five times the memory.
+    assert 2.5 < host[-1] / host[0] < 10
+    assert 2.5 < gpu[-1] / gpu[0] < 10
+
+    # The key table dominates host memory (paper: "almost exclusively").
+    key_mb = [row[2] for row in result.rows]
+    assert all(k > 0.25 * h for k, h in zip(key_mb, host))

@@ -1,0 +1,28 @@
+"""§4.5 — the alternative GPU-only (dynamic parallelism) design.
+
+Paper shape: the GPU-only architecture works well when the vast majority
+of packets are filtered out in pre-processing, but loses when many reach
+the subset-match phase — the per-query atomic queue appends and the
+random global-memory access pattern dominate.  The bench sweeps the
+fraction of matching queries and compares simulated device time.
+"""
+
+from repro.harness import experiments
+
+
+def test_sec45_gpu_only_design(benchmark, workload, publish):
+    result = benchmark.pedantic(
+        lambda: experiments.sec45_gpu_only_design(workload), rounds=1, iterations=1
+    )
+    publish(result)
+    hybrid = result.data["hybrid_us"]
+    gpu_only = result.data["gpu_only_us"]
+
+    # The GPU-only design's relative cost grows with the fraction of
+    # queries that reach subset match.
+    ratio_selective = gpu_only[0] / max(hybrid[0], 1e-9)
+    ratio_matching = gpu_only[-1] / max(hybrid[-1], 1e-9)
+    assert ratio_matching > ratio_selective
+
+    # At full match load the hybrid design wins outright.
+    assert gpu_only[-1] > hybrid[-1]

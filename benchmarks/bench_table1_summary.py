@@ -1,0 +1,46 @@
+"""Table 1 — summary throughput of all six systems at three DB sizes.
+
+Paper values (thousand queries/s): GPU-plain 0.40/0.20/0.04, GPU-batched
+11.5/6.3/1.2, prefix tree 21.1/14.0/4.3, ICN 27.6/17.4/—, CPU-TagMatch
+3.9/3.4/0.68, TagMatch 268.8/144.4/35.3.  The shape to reproduce: the
+hybrid TagMatch wins by about an order of magnitude, batching rescues the
+GPU-only design, ICN cannot build the full database, and everything slows
+as the database grows.
+"""
+
+from repro.harness import experiments
+
+
+def test_table1_summary(benchmark, workload, publish):
+    result = benchmark.pedantic(
+        lambda: experiments.table1_summary(workload), rounds=1, iterations=1
+    )
+    publish(result)
+    kqps = result.data["kqps"]
+
+    tagmatch = kqps["TagMatch"]
+    tree = kqps["CPU-only, fast prefix tree"]
+    plain = kqps["GPU-only, plain"]
+    batched = kqps["GPU-only, plain with batching"]
+    icn = kqps["CPU-only, state-of-the-art ICN"]
+
+    # TagMatch dominates every other system at every size.
+    for size in range(3):
+        for name, series in kqps.items():
+            if name != "TagMatch" and series[size] is not None:
+                assert tagmatch[size] > series[size], (name, size)
+
+    # Batching rescues the GPU-only design.
+    assert all(b > p for b, p in zip(batched, plain))
+
+    # ICN cannot build the full database (the paper's '—').
+    assert icn[2] is None
+    assert icn[0] is not None and icn[1] is not None
+
+    # Throughput declines as the database grows (per system).
+    for name in ("TagMatch", "CPU-only, fast prefix tree", "GPU-only, plain"):
+        series = kqps[name]
+        assert series[0] > series[2], name
+
+    # TagMatch leads the best CPU-only tree by several times (paper: ~10x).
+    assert tagmatch[2] > 3 * tree[2]

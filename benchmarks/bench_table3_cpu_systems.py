@@ -1,0 +1,36 @@
+"""Table 3 — TagMatch vs prefix tree vs ICN at 10 % / 20 % of the DB.
+
+Paper values (kq/s): TagMatch 268.8/144.4 (match), 249.3/133.0 (unique);
+prefix tree 21.1/14.0 and 21.0/13.8; ICN 27.6/17.4 and 27.5/16.8.
+Shape: TagMatch leads by about an order of magnitude; the ICN matcher is
+competitive with (slightly ahead of) the plain prefix tree; match and
+match-unique are close for the CPU systems.
+"""
+
+from repro.harness import experiments
+
+
+def test_table3_cpu_systems(benchmark, workload, publish):
+    result = benchmark.pedantic(
+        lambda: experiments.table3_cpu_systems(workload), rounds=1, iterations=1
+    )
+    publish(result)
+    cells = result.data["cells"]
+
+    for frac in (0.1, 0.2):
+        for mode in ("match", "match-unique"):
+            tagmatch = cells[f"TagMatch|{mode}|{frac}"]
+            tree = cells[f"Prefix tree|{mode}|{frac}"]
+            icn = cells[f"ICN matcher|{mode}|{frac}"]
+            # TagMatch leads both CPU systems by a wide margin.
+            assert tagmatch > 3 * tree
+            assert tagmatch > 3 * icn
+
+    # Both CPU matchers slow down when the database doubles.
+    assert cells["Prefix tree|match|0.1"] > cells["Prefix tree|match|0.2"]
+    assert cells["ICN matcher|match|0.1"] > cells["ICN matcher|match|0.2"]
+
+    # match vs match-unique is a small effect for the tree systems.
+    tree_m = cells["Prefix tree|match|0.1"]
+    tree_u = cells["Prefix tree|match-unique|0.1"]
+    assert 0.5 < tree_m / tree_u < 2.0

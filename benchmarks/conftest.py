@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suite.
+
+The full-scale Twitter workload (≈ 10 s to generate at the default
+1/1024 scale) is generated once per session and shared by every bench
+module.  Results are written to ``benchmarks/results/`` and printed.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.reporting import ExperimentResult, save_result
+from repro.harness.workload_cache import twitter_workload
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return twitter_workload()
+
+
+@pytest.fixture(scope="session")
+def publish():
+    """Save an ExperimentResult and echo it to the terminal."""
+
+    def _publish(result: ExperimentResult) -> ExperimentResult:
+        save_result(result, RESULTS_DIR)
+        print("\n" + result.to_text())
+        return result
+
+    return _publish

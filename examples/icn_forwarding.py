@@ -1,0 +1,95 @@
+"""Tag-based ICN packet forwarding on TagMatch.
+
+Information-Centric Networking with tag-based addressing (§1, §5;
+Papalini et al.) stores a forwarding information base (FIB) of tag sets,
+one per route: a packet carrying descriptor tags must be forwarded on
+every interface that has at least one FIB entry whose tags are a subset
+of the packet's.  That is exactly ``match-unique`` with interface ids as
+keys.
+
+The example builds a small FIB, forwards a packet burst, and
+cross-checks TagMatch's forwarding decisions against the Patricia-trie
+matcher used in the paper's comparative evaluation.
+
+Run with::
+
+    python examples/icn_forwarding.py
+"""
+
+import numpy as np
+
+from repro import TagMatch, TagMatchConfig
+from repro.baselines import PrefixTreeMatcher
+
+TOPICS = [
+    "video", "audio", "news", "sports", "weather", "sensor", "traffic",
+    "energy", "health", "finance", "maps", "chat", "mail", "updates",
+]
+REGIONS = ["eu", "us", "asia"]
+QUALITIES = ["hd", "sd", "live", "cached"]
+
+
+def build_fib(rng: np.random.Generator, num_routes: int = 2000):
+    """Random routes: each interface announces interest in tag combos."""
+    routes = []
+    for _ in range(num_routes):
+        tags = {
+            TOPICS[int(rng.integers(0, len(TOPICS)))],
+            REGIONS[int(rng.integers(0, len(REGIONS)))],
+        }
+        if rng.random() < 0.5:
+            tags.add(QUALITIES[int(rng.integers(0, len(QUALITIES)))])
+        interface = int(rng.integers(0, 32))
+        routes.append((tags, interface))
+    return routes
+
+
+def make_packet(rng: np.random.Generator):
+    """A packet descriptor: topic(s) + region + quality + extras."""
+    tags = {
+        TOPICS[int(rng.integers(0, len(TOPICS)))],
+        TOPICS[int(rng.integers(0, len(TOPICS)))],
+        REGIONS[int(rng.integers(0, len(REGIONS)))],
+        QUALITIES[int(rng.integers(0, len(QUALITIES)))],
+        f"flow{int(rng.integers(0, 10 ** 6))}",
+    }
+    return tags
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    routes = build_fib(rng)
+
+    config = TagMatchConfig(max_partition_size=128, batch_timeout_s=None)
+    with TagMatch(config) as router:
+        for tags, interface in routes:
+            router.add_set(tags, key=interface)
+        router.consolidate()
+        print(f"FIB: {len(routes)} routes over 32 interfaces "
+              f"({router.num_unique_sets} distinct tag sets)")
+
+        # Reference matcher: the paper's Patricia-trie baseline.
+        blocks = router.hasher.encode_sets([t for t, _ in routes])
+        keys = np.array([i for _, i in routes])
+        trie = PrefixTreeMatcher()
+        trie.build(blocks, keys)
+
+        packets = [make_packet(rng) for _ in range(2000)]
+        packet_blocks = router.hasher.encode_sets(packets)
+        run = router.match_stream(packet_blocks, unique=True)
+        print(f"forwarded {run.num_queries} packets at "
+              f"{run.throughput_qps:.0f} pkt/s, "
+              f"{run.output_keys / run.num_queries:.1f} interfaces/packet")
+
+        # Agreement check against the trie on a sample.
+        for i in range(0, 2000, 97):
+            via_trie = np.unique(trie.match_blocks(packet_blocks[i]))
+            assert np.array_equal(np.sort(run.results[i]), via_trie), i
+        print("forwarding decisions agree with the Patricia-trie matcher")
+
+        dropped = sum(1 for r in run.results if r.size == 0)
+        print(f"{dropped} packets had no matching route (dropped)")
+
+
+if __name__ == "__main__":
+    main()

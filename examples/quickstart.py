@@ -1,0 +1,62 @@
+"""Quickstart: the TagMatch interface in two minutes.
+
+Run with::
+
+    python examples/quickstart.py
+
+Covers the full Table 2 interface: staged add-set/remove-set,
+consolidate, match (multiset) and match-unique, plus a peek at the
+engine internals (partitions, memory) that the paper's evaluation
+reports on.
+"""
+
+from repro import TagMatch, TagMatchConfig
+
+
+def main() -> None:
+    # A small engine: one simulated GPU, small partitions so the
+    # partitioning machinery actually kicks in on a toy database.
+    config = TagMatchConfig(max_partition_size=8, num_gpus=1, batch_timeout_s=None)
+    with TagMatch(config) as engine:
+        # --- add-set: stage (tag set, key) associations -----------------
+        engine.add_set({"cats", "memes"}, key=1)
+        engine.add_set({"rust", "systems"}, key=2)
+        engine.add_set({"cats"}, key=3)
+        engine.add_set({"cats", "memes"}, key=4)   # same set, another key
+        engine.add_set({"gpu", "cuda", "streams"}, key=5)
+
+        # Staged changes are invisible until consolidate() (§2).
+        report = engine.consolidate()
+        print(f"consolidated {report.num_associations} associations into "
+              f"{report.num_unique_sets} unique sets across "
+              f"{report.partitioning.num_partitions} partitions")
+
+        # --- match: all keys whose set ⊆ query (multiset) ---------------
+        keys = engine.match({"cats", "memes", "monday"})
+        print("match({cats, memes, monday})        ->", sorted(keys.tolist()))
+
+        # --- match-unique: distinct keys ---------------------------------
+        unique = engine.match_unique({"cats", "memes", "monday"})
+        print("match_unique({cats, memes, monday}) ->", sorted(unique.tolist()))
+
+        # --- remove-set + reconsolidate ----------------------------------
+        engine.remove_set({"cats"}, key=3)
+        engine.consolidate()
+        print("after remove-set({cats}, 3)          ->",
+              sorted(engine.match({"cats", "memes"}).tolist()))
+
+        # --- batched streaming (the high-throughput path) ----------------
+        queries = engine.encode_queries(
+            [{"cats", "memes"}, {"rust", "systems", "zig"}, {"nothing"}]
+        )
+        run = engine.match_stream(queries, unique=True)
+        print(f"streamed {run.num_queries} queries at "
+              f"{run.throughput_qps:.0f} q/s ->",
+              [sorted(r.tolist()) for r in run.results])
+
+        usage = engine.memory_usage()
+        print(f"memory: host {usage.host_bytes} B, GPU {usage.gpu_total_bytes} B")
+
+
+if __name__ == "__main__":
+    main()

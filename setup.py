@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+only exists so that ``pip install -e . --no-use-pep517`` works on the
+offline evaluation machine (setuptools 65 without ``wheel`` cannot build
+PEP-517 editable wheels).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""TagMatch reproduction: high-throughput subset matching (EuroSys 2017).
+
+This package re-implements, in pure Python + NumPy, the TagMatch subset
+matching engine of Rogora et al. together with every substrate and
+baseline its evaluation depends on: a simulated CUDA-style GPU device,
+the Twitter-like workload generator, a Patricia-trie matcher, an
+ICN-style matcher, GPU-only designs, and a MongoDB-like document store.
+
+Quickstart::
+
+    from repro import TagMatch
+
+    engine = TagMatch()
+    engine.add_set({"cats", "memes"}, key=1)
+    engine.add_set({"rust", "systems"}, key=2)
+    engine.consolidate()
+    engine.match_unique({"cats", "memes", "monday"})   # -> {1}
+"""
+
+from repro._version import __version__
+from repro.bloom import BloomSignature, SignatureArray, TagHasher
+from repro.core import TagMatch, TagMatchConfig
+
+__all__ = [
+    "BloomSignature",
+    "SignatureArray",
+    "TagHasher",
+    "TagMatch",
+    "TagMatchConfig",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Comparison systems from the paper's evaluation (§4.1, Table 1).
+
+All baselines are built from scratch (DESIGN.md §2): a brute-force
+linear scan (the reference oracle), the Patricia prefix tree, the
+ICN matcher of Papalini et al., the two GPU-only designs, CPU-only
+TagMatch, and a MongoDB-like document store with sharding.
+"""
+
+from repro.baselines.cpu_tagmatch import CpuTagMatchMatcher
+from repro.baselines.gpu_only import GpuBatchedMatcher, GpuPlainMatcher
+from repro.baselines.icn_matcher import BUILD_BYTES_PER_SET, ICNMatcher
+from repro.baselines.interface import BuildReport, SubsetMatcher
+from repro.baselines.inverted_index import InvertedIndexMatcher
+from repro.baselines.linear_scan import LinearScanMatcher
+from repro.baselines.mongodb_sim import MongoBuildReport, MongoDBSim
+from repro.baselines.query_subset_hash import QuerySubsetHashMatcher
+from repro.baselines.prefix_tree import (
+    PrefixTreeMatcher,
+    blocks_to_ints,
+    int_to_blocks,
+)
+
+__all__ = [
+    "BUILD_BYTES_PER_SET",
+    "BuildReport",
+    "CpuTagMatchMatcher",
+    "GpuBatchedMatcher",
+    "GpuPlainMatcher",
+    "ICNMatcher",
+    "InvertedIndexMatcher",
+    "LinearScanMatcher",
+    "MongoBuildReport",
+    "MongoDBSim",
+    "PrefixTreeMatcher",
+    "QuerySubsetHashMatcher",
+    "SubsetMatcher",
+    "blocks_to_ints",
+    "int_to_blocks",
+]

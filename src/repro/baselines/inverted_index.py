@@ -1,0 +1,57 @@
+"""Counting inverted-index subset matcher (§5, Yan & Garcia-Molina).
+
+The second classic family of subset-matching algorithms: for each
+element ``x`` keep the list of database sets containing ``x``; for a
+query ``q``, walk the lists of every ``x ∈ q`` and count how many times
+each set appears — a set matches iff its count equals its cardinality
+(every one of its elements is in the query).
+
+Operating on Bloom signatures, "elements" are bit positions: the index
+maps each of the 192 positions to the sets with that bit, and a set
+matches when all of its one-bits are covered by the query's one-bits.
+The counting is vectorized with a per-set accumulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.interface import SubsetMatcher
+from repro.bloom.array import SignatureArray
+
+__all__ = ["InvertedIndexMatcher"]
+
+
+class InvertedIndexMatcher(SubsetMatcher):
+    """Per-bit postings lists with per-query counting."""
+
+    name = "inverted index (counting)"
+
+    def __init__(self, width: int = 192) -> None:
+        super().__init__()
+        self.width = width
+
+    def _build_index(self, unique_blocks: np.ndarray) -> int:
+        arr = SignatureArray(unique_blocks, width=self.width)
+        self._popcounts = arr.popcounts().astype(np.int32)
+        big_endian = np.ascontiguousarray(unique_blocks).astype(">u8").view(np.uint8)
+        bits = np.unpackbits(big_endian, axis=1)  # (n, width)
+        #: postings[j]: ids of sets whose bit j is one.
+        self._postings: list[np.ndarray] = [
+            np.nonzero(bits[:, j])[0].astype(np.int64) for j in range(self.width)
+        ]
+        self._num_sets = unique_blocks.shape[0]
+        index_bytes = sum(p.nbytes for p in self._postings) + self._popcounts.nbytes
+        return index_bytes
+
+    def match_set_ids(self, query: np.ndarray) -> np.ndarray:
+        q = np.asarray(query, dtype=np.uint64).reshape(-1)
+        big_endian = q.astype(">u8").view(np.uint8)
+        positions = np.nonzero(np.unpackbits(big_endian))[0]
+        counts = np.zeros(self._num_sets, dtype=np.int32)
+        for j in positions:
+            counts[self._postings[j]] += 1
+        # A set matches iff every one of its bits was counted.  Sets with
+        # zero bits (empty signature) match any query.
+        hits = counts == self._popcounts
+        return np.nonzero(hits)[0].astype(np.int64)

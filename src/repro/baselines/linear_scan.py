@@ -1,0 +1,30 @@
+"""Brute-force linear scan: the reference oracle.
+
+This is the first of the two trivial solutions of §5 — scan the whole
+database per query, ``O(n)`` space and ``O(n·m)`` time.  Exact by
+construction at the signature level, it serves as the ground truth every
+other system is tested against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.interface import SubsetMatcher
+
+__all__ = ["LinearScanMatcher"]
+
+
+class LinearScanMatcher(SubsetMatcher):
+    """Vectorized full-database scan per query."""
+
+    name = "linear scan"
+
+    def _build_index(self, unique_blocks: np.ndarray) -> int:
+        self._blocks = unique_blocks
+        return unique_blocks.nbytes
+
+    def match_set_ids(self, query: np.ndarray) -> np.ndarray:
+        q = np.asarray(query, dtype=np.uint64).reshape(-1)
+        hits = ~np.any(self._blocks & ~q, axis=1)
+        return np.nonzero(hits)[0].astype(np.int64)

@@ -1,0 +1,161 @@
+"""Patricia-trie subset matcher (the paper's *prefix tree* baseline).
+
+§4.1: *"a main-memory implementation of a subset matching algorithm that
+indexes database sets into a prefix tree.  Specifically, this system uses
+a Patricia tree and solves the subset matching problem by navigating such
+tree.  This implementation is representative of most state-of-the-art
+approaches based on trees"* — conceptually the PTSJ algorithm of Luo et
+al. [9], applied to the same 192-bit Bloom signatures TagMatch uses.
+
+Keys are fixed-width bit strings.  Subset matching navigates the trie:
+an edge whose label has a one-bit where the query has a zero can lead to
+no subset, so the whole subtree is pruned; where the query has a one,
+both branches may contain subsets and both are explored.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.interface import SubsetMatcher
+
+__all__ = ["PrefixTreeMatcher", "blocks_to_ints", "int_to_blocks"]
+
+_NODE_BYTES_ESTIMATE = 120  # rough per-node footprint for memory reports
+
+
+def blocks_to_ints(blocks: np.ndarray) -> list[int]:
+    """Convert signature rows to big Python ints (bit 0 = MSB)."""
+    big_endian = np.ascontiguousarray(blocks).astype(">u8").tobytes()
+    row_bytes = blocks.shape[1] * 8
+    return [
+        int.from_bytes(big_endian[i : i + row_bytes], "big")
+        for i in range(0, len(big_endian), row_bytes)
+    ]
+
+
+def int_to_blocks(value: int, num_words: int) -> np.ndarray:
+    """Inverse of :func:`blocks_to_ints` for one value."""
+    raw = value.to_bytes(num_words * 8, "big")
+    return np.frombuffer(raw, dtype=">u8").astype(np.uint64)
+
+
+class _Node:
+    """One Patricia node: the compressed edge from its parent plus
+    children and (at full depth) the stored set ids."""
+
+    __slots__ = ("edge_bits", "edge_len", "children", "set_ids")
+
+    def __init__(self, edge_bits: int, edge_len: int) -> None:
+        self.edge_bits = edge_bits
+        self.edge_len = edge_len
+        self.children: list["_Node | None"] = [None, None]
+        self.set_ids: list[int] | None = None
+
+
+class PrefixTreeMatcher(SubsetMatcher):
+    """Patricia trie over fixed-width signatures with subset navigation."""
+
+    name = "prefix tree"
+
+    def __init__(self, width: int = 192) -> None:
+        super().__init__()
+        self.width = width
+        self._root = _Node(0, 0)
+        self._num_nodes = 1
+        #: Nodes visited by the most recent query (pruning diagnostics).
+        self.last_nodes_visited = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_index(self, unique_blocks: np.ndarray) -> int:
+        self._root = _Node(0, 0)
+        self._num_nodes = 1
+        for set_id, key in enumerate(blocks_to_ints(unique_blocks)):
+            self._insert(key, set_id)
+        return self._num_nodes * _NODE_BYTES_ESTIMATE
+
+    def _segment(self, key: int, depth: int, length: int) -> int:
+        """Bits [depth, depth+length) of ``key`` as an int."""
+        return (key >> (self.width - depth - length)) & ((1 << length) - 1)
+
+    def _insert(self, key: int, set_id: int) -> None:
+        node = self._root
+        depth = 0
+        while True:
+            if depth == self.width:
+                if node.set_ids is None:
+                    node.set_ids = []
+                node.set_ids.append(set_id)
+                return
+            branch = (key >> (self.width - depth - 1)) & 1
+            child = node.children[branch]
+            if child is None:
+                leaf_len = self.width - depth
+                leaf = _Node(self._segment(key, depth, leaf_len), leaf_len)
+                leaf.set_ids = [set_id]
+                node.children[branch] = leaf
+                self._num_nodes += 1
+                return
+            seg = self._segment(key, depth, child.edge_len)
+            if seg == child.edge_bits:
+                node = child
+                depth += child.edge_len
+                continue
+            # Split the child edge at the first differing bit.
+            diff = seg ^ child.edge_bits
+            common = child.edge_len - diff.bit_length()
+            mid = _Node(child.edge_bits >> (child.edge_len - common), common)
+            rest_len = child.edge_len - common
+            child_first = (child.edge_bits >> (rest_len - 1)) & 1
+            child.edge_bits &= (1 << rest_len) - 1
+            child.edge_len = rest_len
+            mid.children[child_first] = child
+            node.children[branch] = mid
+            self._num_nodes += 1
+            # Continue inserting the remaining key bits below `mid`.
+            node = mid
+            depth += common
+
+    # ------------------------------------------------------------------
+    # Subset matching
+    # ------------------------------------------------------------------
+    def match_set_ids(self, query: np.ndarray) -> np.ndarray:
+        q = int.from_bytes(
+            np.asarray(query, dtype=np.uint64).astype(">u8").tobytes(), "big"
+        )
+        return self._match_int(q)
+
+    def _match_int(self, q: int) -> np.ndarray:
+        out: list[int] = []
+        visited = 0
+        # Stack of (node, depth at node's parent edge start).
+        stack: list[tuple[_Node, int]] = [(self._root, 0)]
+        width = self.width
+        while stack:
+            node, depth = stack.pop()
+            visited += 1
+            if node.edge_len:
+                seg = (q >> (width - depth - node.edge_len)) & (
+                    (1 << node.edge_len) - 1
+                )
+                if node.edge_bits & ~seg:
+                    continue  # edge needs a bit the query lacks: prune
+                depth += node.edge_len
+            if depth == width:
+                if node.set_ids:
+                    out.extend(node.set_ids)
+                continue
+            zero_child = node.children[0]
+            if zero_child is not None:
+                stack.append((zero_child, depth))
+            one_child = node.children[1]
+            if one_child is not None and (q >> (width - depth - 1)) & 1:
+                stack.append((one_child, depth))
+        self.last_nodes_visited = visited
+        return np.array(sorted(out), dtype=np.int64)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes

@@ -1,0 +1,96 @@
+"""Query-subset enumeration over a hash table (§1/§5, Rivest).
+
+The other classic family: instead of scanning database sets, *"iterate
+over the subsets q_j ⊆ q directly in the database (e.g., using a hash
+table)"*.  The database is a hash map from tag sets to keys; a query
+enumerates its subsets and probes each.  Exact by construction (no
+signatures), but exponential in the query size — the reason the paper
+dismisses this family for large queries — so the matcher enforces a
+configurable query-size limit.
+
+Two standard prunings keep the constant factors honest:
+
+* only tags that appear in *some* database set participate in the
+  enumeration (others can never help a probe hit);
+* subsets larger than the largest database set are skipped.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["QuerySubsetHashMatcher", "DEFAULT_MAX_QUERY_TAGS"]
+
+#: 2^20 probes is already seconds of work; refuse anything bigger.
+DEFAULT_MAX_QUERY_TAGS = 20
+
+
+class QuerySubsetHashMatcher:
+    """Exact subset matching by probing every subset of the query."""
+
+    name = "query-subset hash table"
+
+    def __init__(self, max_query_tags: int = DEFAULT_MAX_QUERY_TAGS) -> None:
+        self.max_query_tags = max_query_tags
+        self._table: dict[frozenset[str], list[int]] = {}
+        self._vocabulary: set[str] = set()
+        self._largest_set = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build(self, tag_sets, keys) -> None:
+        """Index ``(tag set, key)`` associations (tags, not signatures)."""
+        self._table = {}
+        self._vocabulary = set()
+        self._largest_set = 0
+        for tags, key in zip(tag_sets, keys):
+            tags = frozenset(tags)
+            if not tags:
+                raise ValidationError("empty tag sets are not indexable")
+            self._table.setdefault(tags, []).append(int(key))
+            self._vocabulary.update(tags)
+            self._largest_set = max(self._largest_set, len(tags))
+
+    @property
+    def num_sets(self) -> int:
+        return len(self._table)
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def match(self, query_tags, unique: bool = False) -> np.ndarray:
+        """Keys of all indexed sets contained in ``query_tags``."""
+        relevant = sorted(set(query_tags) & self._vocabulary)
+        if len(relevant) > self.max_query_tags:
+            raise ValidationError(
+                f"query with {len(relevant)} indexable tags exceeds the "
+                f"enumeration limit of {self.max_query_tags} "
+                "(subset enumeration is exponential in the query size)"
+            )
+        out: list[int] = []
+        limit = min(len(relevant), self._largest_set)
+        for size in range(1, limit + 1):
+            for combo in combinations(relevant, size):
+                hit = self._table.get(frozenset(combo))
+                if hit is not None:
+                    out.extend(hit)
+        merged = np.array(sorted(out), dtype=np.int64)
+        if unique:
+            return np.unique(merged)
+        return merged
+
+    def probes_for(self, query_tags) -> int:
+        """Number of hash probes a query would need (cost transparency)."""
+        relevant = len(set(query_tags) & self._vocabulary)
+        limit = min(relevant, self._largest_set)
+        total = 0
+        binom = 1
+        for size in range(1, limit + 1):
+            binom = binom * (relevant - size + 1) // size
+            total += binom
+        return total

@@ -1,0 +1,37 @@
+"""Bloom-filter signatures: TagMatch's set representation (paper §3).
+
+Sets of string tags are encoded as fixed-width bit vectors (192 bits with
+7 hash functions in the paper's concrete system) that admit constant-time
+bitwise subset checks, at the cost of a tiny, quantifiable false-positive
+probability (footnote 3, reproduced in :mod:`repro.bloom.analysis`).
+"""
+
+from repro.bloom.analysis import (
+    expected_fill_fraction,
+    membership_false_positive_probability,
+    optimal_num_hashes,
+    subset_false_positive_probability,
+)
+from repro.bloom.array import SignatureArray
+from repro.bloom.filter import BloomSignature
+from repro.bloom.hashing import (
+    BLOCK_BITS,
+    DEFAULT_NUM_HASHES,
+    DEFAULT_WIDTH,
+    TagHasher,
+    fnv1a_64,
+)
+
+__all__ = [
+    "BLOCK_BITS",
+    "DEFAULT_NUM_HASHES",
+    "DEFAULT_WIDTH",
+    "BloomSignature",
+    "SignatureArray",
+    "TagHasher",
+    "expected_fill_fraction",
+    "fnv1a_64",
+    "membership_false_positive_probability",
+    "optimal_num_hashes",
+    "subset_false_positive_probability",
+]

@@ -1,0 +1,107 @@
+"""False-positive analysis for Bloom-filter subset checks.
+
+Footnote 3 of the paper derives the probability that the bitwise check
+``B1 ⊆ B2`` reports a false positive for tag sets with ``S1 ⊄ S2``:
+
+    P(B1 ⊆ B2) = (1 - e^(-k |S2| / m)) ** (k |S1 \\ S2|)
+
+and observes that for the concrete parameters (m = 192, k = 7) the
+probability is about 1e-11 both for (|S2| = 10, diff = 3) and for
+(|S2| = 5, diff = 2).  These functions reproduce that analysis and help
+choose parameters for other application domains.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "subset_false_positive_probability",
+    "expected_fill_fraction",
+    "optimal_num_hashes",
+    "membership_false_positive_probability",
+    "recommend_parameters",
+]
+
+
+def _check_positive(**values: float) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise ValidationError(f"{name} must be positive, got {value}")
+
+
+def subset_false_positive_probability(
+    width: int, num_hashes: int, query_set_size: int, difference_size: int
+) -> float:
+    """Probability that ``B1 ⊆ B2`` holds although ``S1 ⊄ S2``.
+
+    Parameters mirror footnote 3: ``width`` is ``m``, ``num_hashes`` is
+    ``k``, ``query_set_size`` is ``|S2|`` and ``difference_size`` is
+    ``|S1 \\ S2| > 0``.
+    """
+    _check_positive(width=width, num_hashes=num_hashes, query_set_size=query_set_size)
+    if difference_size <= 0:
+        raise ValidationError(
+            "difference_size must be positive (otherwise S1 really is a subset)"
+        )
+    single_bit = 1.0 - math.exp(-num_hashes * query_set_size / width)
+    return single_bit ** (num_hashes * difference_size)
+
+
+def expected_fill_fraction(width: int, num_hashes: int, set_size: int) -> float:
+    """Expected fraction of one-bits after inserting ``set_size`` tags."""
+    _check_positive(width=width, num_hashes=num_hashes)
+    if set_size < 0:
+        raise ValidationError("set_size must be non-negative")
+    return 1.0 - math.exp(-num_hashes * set_size / width)
+
+
+def optimal_num_hashes(width: int, set_size: int) -> int:
+    """The ``k`` minimizing membership false positives: ``(m/n) ln 2``."""
+    _check_positive(width=width, set_size=set_size)
+    return max(1, round(width / set_size * math.log(2)))
+
+
+def membership_false_positive_probability(
+    width: int, num_hashes: int, set_size: int
+) -> float:
+    """Classic single-element membership false-positive rate."""
+    return expected_fill_fraction(width, num_hashes, set_size) ** num_hashes
+
+
+def recommend_parameters(
+    max_query_size: int,
+    min_difference: int = 1,
+    target_probability: float = 1e-9,
+    max_width: int = 1024,
+) -> tuple[int, int]:
+    """Choose ``(width, num_hashes)`` for an application domain.
+
+    Returns the smallest width (multiple of 64, for block packing) and a
+    hash count such that the subset false-positive probability of
+    footnote 3 stays below ``target_probability`` for queries of up to
+    ``max_query_size`` tags and candidate sets differing by at least
+    ``min_difference`` tags.  The paper's own (192, 7) falls out of
+    ``recommend_parameters(10, 3, 1e-10)``.
+    """
+    _check_positive(
+        max_query_size=max_query_size,
+        min_difference=min_difference,
+        target_probability=target_probability,
+    )
+    for width in range(64, max_width + 1, 64):
+        # For fixed width the probability is minimised near k = (m/n) ln2
+        # of the *query* size; search the neighbourhood.
+        centre = max(1, round(width / max_query_size * math.log(2)))
+        for k in range(max(1, centre - 6), centre + 4):
+            p = subset_false_positive_probability(
+                width, k, max_query_size, min_difference
+            )
+            if p <= target_probability:
+                return width, k
+    raise ValidationError(
+        f"no (width ≤ {max_width}, k) meets the target probability "
+        f"{target_probability} for {max_query_size}-tag queries"
+    )

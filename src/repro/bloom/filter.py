@@ -1,0 +1,167 @@
+"""Scalar Bloom-filter signatures.
+
+:class:`BloomSignature` is the readable, immutable, single-signature
+counterpart of :class:`repro.bloom.array.SignatureArray`.  The trie-based
+baselines and much of the test suite operate on scalar signatures; the hot
+paths of TagMatch itself use the packed array form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.bloom.hashing import BLOCK_BITS, TagHasher
+from repro.errors import ValidationError
+
+__all__ = ["BloomSignature"]
+
+
+class BloomSignature:
+    """An immutable ``width``-bit Bloom-filter signature.
+
+    The signature stores its bits as a tuple of unsigned 64-bit block
+    words; bit position 0 is the most significant bit of block 0 (see
+    :mod:`repro.bloom.hashing` for the convention).
+    """
+
+    __slots__ = ("blocks", "width")
+
+    def __init__(self, blocks: Iterable[int], width: int | None = None) -> None:
+        self.blocks = tuple(int(b) for b in blocks)
+        self.width = width if width is not None else len(self.blocks) * BLOCK_BITS
+        if self.width != len(self.blocks) * BLOCK_BITS:
+            raise ValidationError(
+                f"width {self.width} does not match {len(self.blocks)} blocks"
+            )
+        for word in self.blocks:
+            if word < 0 or word >> BLOCK_BITS:
+                raise ValidationError(f"block word out of 64-bit range: {word:#x}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tags(cls, tags: Iterable[str], hasher: TagHasher) -> "BloomSignature":
+        """Encode a tag set with ``hasher``."""
+        return cls(hasher.encode_set(tags), width=hasher.width)
+
+    @classmethod
+    def from_bits(cls, positions: Iterable[int], width: int) -> "BloomSignature":
+        """Build a signature with exactly the given bit positions set."""
+        if width <= 0 or width % BLOCK_BITS != 0:
+            raise ValidationError(f"width must be a multiple of {BLOCK_BITS}")
+        blocks = [0] * (width // BLOCK_BITS)
+        for pos in positions:
+            pos = int(pos)  # accept NumPy integers without int64 overflow
+            if not 0 <= pos < width:
+                raise ValidationError(f"bit position {pos} out of range [0, {width})")
+            block, offset = divmod(pos, BLOCK_BITS)
+            blocks[block] |= 1 << (BLOCK_BITS - 1 - offset)
+        return cls(blocks, width=width)
+
+    @classmethod
+    def zero(cls, width: int) -> "BloomSignature":
+        """The empty (all-zero) signature."""
+        if width <= 0 or width % BLOCK_BITS != 0:
+            raise ValidationError(f"width must be a multiple of {BLOCK_BITS}")
+        return cls((0,) * (width // BLOCK_BITS), width=width)
+
+    # ------------------------------------------------------------------
+    # Set-algebra on bit vectors
+    # ------------------------------------------------------------------
+    def issubset(self, other: "BloomSignature") -> bool:
+        """Bitwise inclusion: every one-bit of ``self`` is set in ``other``.
+
+        This is the check at the heart of TagMatch: for tag sets
+        ``S1 ⊆ S2`` implies ``B1 ⊆ B2``, and the converse holds with high
+        probability (§3, footnote 3).
+        """
+        return all(a & ~b == 0 for a, b in zip(self.blocks, other.blocks))
+
+    def __or__(self, other: "BloomSignature") -> "BloomSignature":
+        self._check_compatible(other)
+        return BloomSignature(
+            (a | b for a, b in zip(self.blocks, other.blocks)), width=self.width
+        )
+
+    def __and__(self, other: "BloomSignature") -> "BloomSignature":
+        self._check_compatible(other)
+        return BloomSignature(
+            (a & b for a, b in zip(self.blocks, other.blocks)), width=self.width
+        )
+
+    def with_bit(self, position: int) -> "BloomSignature":
+        """Return a copy of this signature with one extra bit set."""
+        single = BloomSignature.from_bits([position], self.width)
+        return self | single
+
+    # ------------------------------------------------------------------
+    # Bit inspection
+    # ------------------------------------------------------------------
+    def get_bit(self, position: int) -> int:
+        """Return bit value (0 or 1) at ``position``."""
+        if not 0 <= position < self.width:
+            raise ValidationError(f"bit position {position} out of range")
+        block, offset = divmod(position, BLOCK_BITS)
+        return (self.blocks[block] >> (BLOCK_BITS - 1 - offset)) & 1
+
+    def bits(self) -> Iterator[int]:
+        """Yield the positions of all one-bits in increasing order."""
+        for block_index, word in enumerate(self.blocks):
+            base = block_index * BLOCK_BITS
+            while word:
+                leading = BLOCK_BITS - word.bit_length()
+                yield base + leading
+                word &= ~(1 << (word.bit_length() - 1))
+
+    def popcount(self) -> int:
+        """Number of one-bits in the signature."""
+        return sum(word.bit_count() for word in self.blocks)
+
+    def leftmost_one(self) -> int:
+        """Position of the leftmost one-bit, or ``width`` if empty.
+
+        The partition table (Algorithm 2) buckets masks by this value.
+        """
+        for block_index, word in enumerate(self.blocks):
+            if word:
+                return block_index * BLOCK_BITS + (BLOCK_BITS - word.bit_length())
+        return self.width
+
+    def is_zero(self) -> bool:
+        """True when no bit is set."""
+        return all(word == 0 for word in self.blocks)
+
+    def to_bitstring(self) -> str:
+        """Render as a '0'/'1' string, leftmost bit first (debugging)."""
+        return "".join(format(word, f"0{BLOCK_BITS}b") for word in self.blocks)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "BloomSignature") -> None:
+        if self.width != other.width:
+            raise ValidationError(
+                f"signature widths differ: {self.width} vs {other.width}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BloomSignature):
+            return NotImplemented
+        return self.width == other.width and self.blocks == other.blocks
+
+    def __hash__(self) -> int:
+        return hash((self.width, self.blocks))
+
+    def __lt__(self, other: "BloomSignature") -> bool:
+        """Lexicographic (bit-string) order — the tagset-table sort order."""
+        self._check_compatible(other)
+        return self.blocks < other.blocks
+
+    def __le__(self, other: "BloomSignature") -> bool:
+        self._check_compatible(other)
+        return self.blocks <= other.blocks
+
+    def __repr__(self) -> str:
+        words = ", ".join(f"{word:#018x}" for word in self.blocks)
+        return f"BloomSignature([{words}])"

@@ -1,0 +1,151 @@
+"""Hashing of string tags into Bloom-filter bit positions.
+
+TagMatch (§3) represents every tag set as an *m*-bit Bloom filter built
+with *k* hash functions; the paper's concrete system uses ``m = 192`` and
+``k = 7``.  This module maps a string tag to its ``k`` bit positions using
+the classic double-hashing scheme of Kirsch and Mitzenmacher: two
+independent 64-bit FNV-1a hashes ``h1`` and ``h2`` yield the family
+``h_i(tag) = (h1 + i * h2) mod m``.
+
+Bit-numbering convention (used consistently across the whole package):
+position ``0`` is the *leftmost* bit, i.e. the most significant bit of
+64-bit block ``0``.  With this convention the unsigned lexicographic order
+of the block tuples equals the lexicographic order of the bit strings,
+which is what both the partition table (Algorithm 2) and the thread-block
+common-prefix optimisation (Algorithm 4) rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["fnv1a_64", "TagHasher", "BLOCK_BITS", "DEFAULT_WIDTH", "DEFAULT_NUM_HASHES"]
+
+#: Number of bits per signature block (one unsigned 64-bit word).
+BLOCK_BITS = 64
+
+#: Bloom-filter width used by the paper's concrete TagMatch implementation.
+DEFAULT_WIDTH = 192
+
+#: Number of hash functions used by the paper's concrete implementation.
+DEFAULT_NUM_HASHES = 7
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_U64_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a_64(data: bytes, seed: int = 0) -> int:
+    """Return the 64-bit FNV-1a hash of ``data``.
+
+    ``seed`` perturbs the offset basis so that independent hash functions
+    can be derived from the same byte string.
+    """
+    h = (_FNV_OFFSET ^ (seed * 0x9E3779B97F4A7C15)) & _U64_MASK
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _U64_MASK
+    return h
+
+
+class TagHasher:
+    """Maps string tags to Bloom-filter bit positions and block masks.
+
+    Parameters
+    ----------
+    width:
+        Bloom filter width in bits.  Must be a positive multiple of 64 so
+        that signatures pack exactly into unsigned 64-bit blocks.
+    num_hashes:
+        Number of hash functions (``k``).
+    seed:
+        Seed mixed into both FNV hashes; two hashers with different seeds
+        produce statistically independent encodings.
+
+    The hasher caches the per-tag block mask, because workloads reuse a
+    comparatively small tag vocabulary across hundreds of thousands of
+    sets; encoding a set is then just a bitwise OR of cached masks.
+    """
+
+    def __init__(
+        self,
+        width: int = DEFAULT_WIDTH,
+        num_hashes: int = DEFAULT_NUM_HASHES,
+        seed: int = 0,
+    ) -> None:
+        if width <= 0 or width % BLOCK_BITS != 0:
+            raise ValidationError(
+                f"width must be a positive multiple of {BLOCK_BITS}, got {width}"
+            )
+        if num_hashes <= 0:
+            raise ValidationError(f"num_hashes must be positive, got {num_hashes}")
+        self.width = width
+        self.num_hashes = num_hashes
+        self.seed = seed
+        self.num_blocks = width // BLOCK_BITS
+        self._mask_cache: dict[str, tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Per-tag primitives
+    # ------------------------------------------------------------------
+    def bit_positions(self, tag: str) -> tuple[int, ...]:
+        """Return the ``k`` bit positions for ``tag`` (duplicates possible)."""
+        data = tag.encode("utf-8")
+        h1 = fnv1a_64(data, seed=self.seed)
+        # Forcing h2 odd makes the double-hash progression cycle through
+        # the whole table for power-of-two widths and avoids h2 == 0.
+        h2 = fnv1a_64(data, seed=self.seed + 1) | 1
+        return tuple((h1 + i * h2) % self.width for i in range(self.num_hashes))
+
+    def tag_mask(self, tag: str) -> tuple[int, ...]:
+        """Return the tag's signature as a tuple of block words (cached)."""
+        cached = self._mask_cache.get(tag)
+        if cached is not None:
+            return cached
+        blocks = [0] * self.num_blocks
+        for pos in self.bit_positions(tag):
+            block, offset = divmod(pos, BLOCK_BITS)
+            blocks[block] |= 1 << (BLOCK_BITS - 1 - offset)
+        mask = tuple(blocks)
+        self._mask_cache[tag] = mask
+        return mask
+
+    # ------------------------------------------------------------------
+    # Set encoding
+    # ------------------------------------------------------------------
+    def encode_set(self, tags: Iterable[str]) -> tuple[int, ...]:
+        """Encode a tag set as a tuple of block words (OR of tag masks)."""
+        blocks = [0] * self.num_blocks
+        empty = True
+        for tag in tags:
+            empty = False
+            for i, word in enumerate(self.tag_mask(tag)):
+                blocks[i] |= word
+        if empty:
+            raise ValidationError("cannot encode an empty tag set")
+        return tuple(blocks)
+
+    def encode_sets(self, tag_sets: Sequence[Iterable[str]]) -> np.ndarray:
+        """Encode many tag sets into a ``(n, num_blocks)`` uint64 array."""
+        out = np.zeros((len(tag_sets), self.num_blocks), dtype=np.uint64)
+        for row, tags in enumerate(tag_sets):
+            out[row] = self.encode_set(tags)
+        return out
+
+    def cache_size(self) -> int:
+        """Number of distinct tags whose masks are currently cached."""
+        return len(self._mask_cache)
+
+    def clear_cache(self) -> None:
+        """Drop all cached tag masks (mainly useful in memory experiments)."""
+        self._mask_cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TagHasher(width={self.width}, num_hashes={self.num_hashes}, "
+            f"seed={self.seed})"
+        )

@@ -1,0 +1,31 @@
+"""Shared vectorized bit-vector operations.
+
+`containment_matrix` is the all-pairs bitwise-subset primitive used by
+the subset-match kernel, the partition-table pre-process, and the
+GPU-only matcher.  It accumulates the mismatch mask word by word, which
+avoids materialising a 3-D ``(n, m, words)`` temporary — the dominant
+cost of the naive broadcast on wide inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["containment_matrix"]
+
+
+def containment_matrix(subs: np.ndarray, supers: np.ndarray) -> np.ndarray:
+    """Boolean ``(len(subs), len(supers))``: ``subs[i] ⊆ supers[j]``.
+
+    Both inputs are ``(n, words)`` uint64 block arrays.  Entry ``(i, j)``
+    is true iff every one-bit of ``subs[i]`` is set in ``supers[j]``
+    (footnote 4's per-block check, evaluated across all pairs).
+    """
+    if subs.ndim != 2 or supers.ndim != 2 or subs.shape[1] != supers.shape[1]:
+        raise ValidationError("containment_matrix needs matching (n, words) arrays")
+    mismatch = subs[:, 0][:, None] & ~supers[:, 0][None, :]
+    for word in range(1, subs.shape[1]):
+        mismatch |= subs[:, word][:, None] & ~supers[:, word][None, :]
+    return mismatch == 0

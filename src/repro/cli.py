@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    A one-minute tour of the Table 2 interface on a toy database.
+``workload``
+    Generate the §4.2 Twitter-like workload and print its statistics.
+``build``
+    Generate a workload, consolidate an engine over it, and save the
+    index as a snapshot.
+``bench``
+    Quick throughput/latency measurement of the matching pipeline.
+``match``
+    Load a snapshot and answer one query from the command line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.config import TagMatchConfig
+from repro.core.engine import TagMatch
+from repro.harness.runner import latency_percentiles
+from repro.workloads import generate_twitter_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TagMatch: high-throughput subset matching (EuroSys '17 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run a small end-to-end demo")
+
+    p_workload = sub.add_parser("workload", help="generate a Twitter-like workload")
+    p_workload.add_argument("--users", type=int, default=20_000)
+    p_workload.add_argument("--seed", type=int, default=0)
+
+    p_build = sub.add_parser("build", help="build an index and save a snapshot")
+    p_build.add_argument("--users", type=int, default=20_000)
+    p_build.add_argument("--seed", type=int, default=0)
+    p_build.add_argument("--max-partition-size", type=int, default=800)
+    p_build.add_argument("--gpus", type=int, default=2)
+    p_build.add_argument("--out", required=True, help="snapshot path (.npz)")
+
+    p_bench = sub.add_parser("bench", help="measure matching throughput")
+    p_bench.add_argument("--users", type=int, default=20_000)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--queries", type=int, default=2048)
+    p_bench.add_argument("--max-partition-size", type=int, default=800)
+    p_bench.add_argument("--gpus", type=int, default=2)
+    p_bench.add_argument("--unique", action="store_true", help="measure match-unique")
+
+    p_match = sub.add_parser("match", help="query a saved snapshot")
+    p_match.add_argument("--index", required=True, help="snapshot path (.npz)")
+    p_match.add_argument("--tags", required=True, help="comma-separated query tags")
+    p_match.add_argument("--unique", action="store_true")
+
+    return parser
+
+
+def _cmd_demo(_: argparse.Namespace) -> int:
+    config = TagMatchConfig(max_partition_size=8, num_gpus=1, batch_timeout_s=None)
+    with TagMatch(config) as engine:
+        engine.add_set({"cats", "memes"}, key=1)
+        engine.add_set({"rust", "systems"}, key=2)
+        engine.add_set({"cats"}, key=3)
+        report = engine.consolidate()
+        print(
+            f"indexed {report.num_unique_sets} sets in "
+            f"{report.partitioning.num_partitions} partitions"
+        )
+        for query in ({"cats", "memes", "monday"}, {"rust"}, {"nothing"}):
+            keys = sorted(engine.match_unique(query).tolist())
+            print(f"match-unique({sorted(query)}) -> {keys}")
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    workload = generate_twitter_workload(num_users=args.users, seed=args.seed)
+    print(f"users:              {workload.num_users}")
+    print(f"interests (assoc.): {workload.num_associations}")
+    print(f"unique sets:        {workload.num_unique_sets}")
+    print(f"mean tags/interest: {workload.interests.mean_tags():.2f}")
+    print(f"generation time:    {workload.generation_s:.1f}s")
+    return 0
+
+
+def _build_engine(args: argparse.Namespace) -> tuple[TagMatch, object]:
+    workload = generate_twitter_workload(num_users=args.users, seed=args.seed)
+    config = TagMatchConfig(
+        max_partition_size=args.max_partition_size,
+        num_gpus=args.gpus,
+        batch_size=256,
+        batch_timeout_s=None,
+    )
+    engine = TagMatch(config)
+    engine.add_signatures(workload.blocks, workload.keys)
+    report = engine.consolidate()
+    print(
+        f"consolidated {report.num_associations} associations "
+        f"({report.num_unique_sets} unique sets, "
+        f"{report.partitioning.num_partitions} partitions) "
+        f"in {report.elapsed_s:.1f}s"
+    )
+    return engine, workload
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    engine, _ = _build_engine(args)
+    engine.save(args.out)
+    usage = engine.memory_usage()
+    print(f"snapshot written to {args.out}")
+    print(f"host {usage.host_bytes / 1e6:.1f} MB, GPU {usage.gpu_total_bytes / 1e6:.1f} MB")
+    engine.close()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    engine, workload = _build_engine(args)
+    queries = workload.queries(args.queries, seed=args.seed + 1)
+    engine.match_stream(queries.blocks[:256], unique=args.unique)  # warm-up
+    run = engine.match_stream(queries.blocks, unique=args.unique)
+    pct = latency_percentiles(run.latencies_s)
+    mode = "match-unique" if args.unique else "match"
+    print(f"{mode}: {run.throughput_qps:.0f} queries/s over {run.num_queries} queries")
+    print(f"output: {run.output_keys} keys ({run.output_keys / run.num_queries:.1f}/query)")
+    print(f"latency p50={pct['p50_ms']:.1f}ms p99={pct['p99_ms']:.1f}ms")
+    engine.close()
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    tags = {t.strip() for t in args.tags.split(",") if t.strip()}
+    if not tags:
+        print("error: --tags needs at least one tag", file=sys.stderr)
+        return 2
+    engine = TagMatch.load(args.index)
+    try:
+        keys = (
+            engine.match_unique(tags) if args.unique else engine.match(tags)
+        )
+        print(f"{keys.size} keys:", np.sort(keys).tolist()[:100])
+    finally:
+        engine.close()
+    return 0
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "workload": _cmd_workload,
+    "build": _cmd_build,
+    "bench": _cmd_bench,
+    "match": _cmd_match,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

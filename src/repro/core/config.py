@@ -1,0 +1,112 @@
+"""Configuration of the TagMatch engine.
+
+All of the paper's tuning knobs live here: the Bloom-filter geometry
+(§3), the maximum partition size ``MAX_P`` that balances CPU and GPU load
+(§3.1, Figure 7), the query batch size and flush timeout (§3, Figure 6),
+the CPU thread allocation (§4.3.3, Figure 5), and the simulated GPU
+topology (two 12 GB cards with 10 streams each on the paper's testbed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bloom.hashing import DEFAULT_NUM_HASHES, DEFAULT_WIDTH
+from repro.errors import ValidationError
+from repro.gpu.device import DEFAULT_DEVICE_MEMORY, DEFAULT_STREAMS_PER_DEVICE
+from repro.gpu.kernels import DEFAULT_THREAD_BLOCK_SIZE
+from repro.gpu.timing import CostModel
+
+__all__ = ["TagMatchConfig"]
+
+
+@dataclass(frozen=True)
+class TagMatchConfig:
+    """Immutable engine configuration.
+
+    Attributes
+    ----------
+    width, num_hashes, seed:
+        Bloom-filter geometry (the paper uses 192 bits / 7 hashes).
+    max_partition_size:
+        ``MAX_P`` of Algorithm 1 — the maximum number of tag sets per
+        partition.  Large partitions lighten pre-processing but load the
+        subset-match stage, and vice versa (Figure 7).
+    batch_size:
+        Queries per GPU batch.  Must be ≤ 256 because the packed result
+        layout uses 8-bit batch-local query ids (§3.3.1).
+    batch_timeout_s:
+        Flush partially filled batches after this long (``None`` disables
+        the timeout, as in the paper's no-timeout latency runs).
+    num_threads:
+        CPU threads shared by the pre-process and key-lookup stages.
+    num_gpus, streams_per_gpu, device_memory:
+        Simulated GPU topology.
+    thread_block_size, prefilter:
+        Kernel shape and the Algorithm 4 pre-filter switch.
+    replicate_tagset_table:
+        ``True`` replicates the tagset table on every GPU (maximal
+        inter-GPU parallelism); ``False`` splits partitions across GPUs,
+        halving memory per device for extremely large tables (§3).
+    exact_check:
+        Re-check every Bloom match against the original tag sets, making
+        results exact at the cost of storing the sets (§3: "the system or
+        the application can perform an additional exact subset check").
+    cost_model:
+        Pricing of simulated device events.
+    """
+
+    width: int = DEFAULT_WIDTH
+    num_hashes: int = DEFAULT_NUM_HASHES
+    seed: int = 0
+    max_partition_size: int = 8192
+    batch_size: int = 128
+    batch_timeout_s: float | None = 0.05
+    num_threads: int = 4
+    num_gpus: int = 1
+    streams_per_gpu: int = DEFAULT_STREAMS_PER_DEVICE
+    device_memory: int = DEFAULT_DEVICE_MEMORY
+    thread_block_size: int = DEFAULT_THREAD_BLOCK_SIZE
+    prefilter: bool = True
+    replicate_tagset_table: bool = True
+    #: Copies of each partition across the GPUs: ``None`` derives it from
+    #: ``replicate_tagset_table`` (all GPUs or one); an integer selects
+    #: the paper's middle ground of *partial* replication (§3).
+    replication_factor: int | None = None
+    exact_check: bool = False
+    #: Algorithm 1 pivot rule: "balanced" (the paper's closest-to-50 %
+    #: frequency) or "first_unused" (naive ablation).
+    pivot_strategy: str = "balanced"
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.width % 64 != 0:
+            raise ValidationError(f"width must be a positive multiple of 64: {self.width}")
+        if self.num_hashes <= 0:
+            raise ValidationError("num_hashes must be positive")
+        if self.max_partition_size <= 0:
+            raise ValidationError("max_partition_size must be positive")
+        if not 1 <= self.batch_size <= 256:
+            raise ValidationError(
+                f"batch_size must be in [1, 256] (8-bit query ids), got {self.batch_size}"
+            )
+        if self.batch_timeout_s is not None and self.batch_timeout_s < 0:
+            raise ValidationError("batch_timeout_s must be non-negative or None")
+        if self.num_threads <= 0:
+            raise ValidationError("num_threads must be positive")
+        if self.num_gpus <= 0:
+            raise ValidationError("num_gpus must be positive")
+        if self.streams_per_gpu <= 0:
+            raise ValidationError("streams_per_gpu must be positive")
+        if self.thread_block_size <= 0:
+            raise ValidationError("thread_block_size must be positive")
+        if self.replication_factor is not None and not (
+            1 <= self.replication_factor <= self.num_gpus
+        ):
+            raise ValidationError(
+                "replication_factor must be in [1, num_gpus] when given"
+            )
+        if self.pivot_strategy not in ("balanced", "first_unused"):
+            raise ValidationError(
+                f"unknown pivot_strategy {self.pivot_strategy!r}"
+            )

@@ -1,0 +1,386 @@
+"""The four-stage matching pipeline (§3, Figure 1).
+
+Stages: (i) *pre-process* finds the partitions relevant to each query
+(Algorithm 2, CPU threads); (ii) *subset match* evaluates full batches of
+queries against one partition on a GPU (Algorithms 3–4, submitted through
+pooled streams with double-buffered result transfers); (iii) *key
+lookup/reduce* maps matched set ids to application keys and groups them
+by query; (iv) *merge* combines the per-partition key sets once a query's
+outstanding-batch counter returns to zero.
+
+The pipeline maximises parallelism both between and within stages: any
+number of CPU threads run pre-processing and key lookup, every device
+stream carries its own in-flight batch sequence, and the CPU threads
+submit whole copy→kernel→copy sequences asynchronously (§3.3.2), so they
+never wait on the GPU.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.batch import Batch, BatcherSet
+from repro.core.config import TagMatchConfig
+from repro.core.key_table import KeyTable
+from repro.core.partition_table import PartitionTable
+from repro.core.results import QueryState
+from repro.core.tagset_table import TagsetTable
+from repro.errors import ReproError
+from repro.gpu.doublebuffer import CycleResult, DoubleBufferedResults
+from repro.gpu.kernels import subset_match_kernel
+from repro.gpu.packing import pack_results, unpack_results
+from repro.gpu.stream import Stream
+
+__all__ = ["MatchPipeline", "PipelineRun", "PipelineStats"]
+
+_FEED_CHUNK = 32
+
+
+@dataclass
+class PipelineStats:
+    """Aggregate counters over one pipeline run."""
+
+    batches: int = 0
+    kernel_invocations: int = 0
+    pairs: int = 0
+    full_flushes: int = 0
+    timeout_flushes: int = 0
+    shutdown_flushes: int = 0
+    simulated_kernel_s: float = 0.0
+    #: Wall-clock time spent inside kernel invocations (the work a real
+    #: deployment would offload to the GPUs).
+    kernel_wall_s: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_batch(self, reason: str) -> None:
+        with self._lock:
+            self.batches += 1
+            if reason == "full":
+                self.full_flushes += 1
+            elif reason == "timeout":
+                self.timeout_flushes += 1
+            else:
+                self.shutdown_flushes += 1
+
+    def record_kernel(self, pairs: int, simulated_s: float, wall_s: float = 0.0) -> None:
+        with self._lock:
+            self.kernel_invocations += 1
+            self.pairs += pairs
+            self.simulated_kernel_s += simulated_s
+            self.kernel_wall_s += wall_s
+
+
+@dataclass
+class PipelineRun:
+    """Outcome of one pipeline run over a query stream."""
+
+    results: list[np.ndarray]
+    latencies_s: np.ndarray
+    elapsed_s: float
+    stats: PipelineStats
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.results)
+
+    @property
+    def throughput_qps(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.num_queries / self.elapsed_s
+
+    @property
+    def output_keys(self) -> int:
+        """Total keys emitted (the *output throughput* of Figure 3)."""
+        return int(sum(r.size for r in self.results))
+
+
+class MatchPipeline:
+    """Drives query streams through the four matching stages."""
+
+    def __init__(
+        self,
+        partition_table: PartitionTable,
+        tagset_table: TagsetTable,
+        key_table: KeyTable,
+        config: TagMatchConfig,
+    ) -> None:
+        self.partition_table = partition_table
+        self.tagset_table = tagset_table
+        self.key_table = key_table
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        query_blocks: np.ndarray,
+        unique: bool = False,
+        num_threads: int | None = None,
+        batch_timeout_s: float | None | str = "config",
+        arrival_rate_qps: float | None = None,
+        on_result=None,
+    ) -> PipelineRun:
+        """Match every row of ``query_blocks`` and wait for completion.
+
+        ``arrival_rate_qps`` paces query arrival (used by the latency
+        experiment of Figure 6); by default queries arrive as fast as the
+        pre-process stage accepts them.  ``on_result(query_index, keys)``,
+        if given, is invoked from a pipeline worker thread the moment each
+        query's merge completes — the push-style delivery a messaging
+        system needs; it must be thread-safe and fast.
+        """
+        if query_blocks.ndim != 2:
+            raise ReproError("query_blocks must be a 2-D block array")
+        timeout = (
+            self.config.batch_timeout_s if batch_timeout_s == "config" else batch_timeout_s
+        )
+        threads = num_threads if num_threads is not None else self.config.num_threads
+        n = query_blocks.shape[0]
+        states: list[QueryState | None] = [None] * n
+        stats = PipelineStats()
+
+        batchers = BatcherSet(
+            self.partition_table.num_partitions,
+            self.config.batch_size,
+            query_blocks.shape[1],
+        )
+        work: queue.Queue[np.ndarray | None] = queue.Queue()
+        completions: queue.Queue[CycleResult | None] = queue.Queue()
+        double_buffers: dict[Stream, DoubleBufferedResults] = {}
+        db_lock = threading.Lock()
+        stop_flusher = threading.Event()
+
+        def buffer_for(stream: Stream) -> DoubleBufferedResults:
+            # Called only from within ops running on `stream`, but the
+            # dict itself is shared across streams.
+            with db_lock:
+                db = double_buffers.get(stream)
+                if db is None:
+                    db = DoubleBufferedResults(
+                        stream.device, capacity_pairs=4 * self.config.batch_size
+                    )
+                    double_buffers[stream] = db
+                return db
+
+        # ---------------- stage 2: GPU dispatch ----------------
+        def dispatch(batch: Batch, reason: str) -> None:
+            stats.record_batch(reason)
+            residency = self.tagset_table.residency(batch.partition_id)
+            device = residency.device
+            stream = device.acquire_stream()
+
+            def copy_in_kernel_and_push():
+                # The copy-in / kernel / result-push sequence of §3.3.2,
+                # submitted as one FIFO unit on the acquired stream.
+                qbuf = device.htod(batch.queries, label="query-batch")
+                kernel_start = time.perf_counter()
+                result = subset_match_kernel(
+                    residency.sets.array(),
+                    residency.ids.array(),
+                    qbuf.array(),
+                    thread_block_size=self.config.thread_block_size,
+                    prefilter=self.config.prefilter,
+                    cost_model=device.cost_model,
+                    clock=device.clock,
+                    prefixes=residency.prefixes.array(),
+                )
+                kernel_wall = time.perf_counter() - kernel_start
+                qbuf.free()
+                stats.record_kernel(
+                    result.stats.num_pairs, result.stats.simulated_time_s, kernel_wall
+                )
+                packed = pack_results(result.query_ids, result.set_ids)
+                delivered = buffer_for(stream).push(
+                    packed, result.stats.num_pairs, meta=batch.states
+                )
+                if delivered is not None:
+                    completions.put(delivered)
+
+            stream.enqueue(copy_in_kernel_and_push, label="copyin-match-copyout")
+            # Asynchronous submission: release the stream immediately and
+            # let its FIFO worker execute the sequence (§3.3.2).
+            device.release_stream(stream)
+
+        # ---------------- stage 1: pre-process ----------------
+        def preprocess_worker() -> None:
+            while True:
+                chunk = work.get()
+                if chunk is None:
+                    return
+                rows = query_blocks[chunk]
+                # Vectorized Algorithm 2 over the whole chunk: one dense
+                # scan of the compact mask matrix.
+                matrix = self.partition_table.relevant_matrix(rows)
+                counts = matrix.sum(axis=1)
+                chunk_states: list[QueryState] = []
+                for local, qi in enumerate(chunk):
+                    state = states[qi]
+                    assert state is not None
+                    chunk_states.append(state)
+                    if counts[local]:
+                        state.add_batches(int(counts[local]))
+                q_local, p_idx = np.nonzero(matrix)
+                if p_idx.size:
+                    order = np.argsort(p_idx, kind="stable")
+                    q_sorted = q_local[order]
+                    p_sorted = p_idx[order]
+                    boundaries = np.nonzero(np.diff(p_sorted))[0] + 1
+                    starts = np.concatenate(([0], boundaries))
+                    ends = np.concatenate((boundaries, [p_sorted.size]))
+                    for gs, ge in zip(starts, ends):
+                        pid = int(p_sorted[gs])
+                        members = q_sorted[gs:ge]
+                        full_batches = batchers[pid].add_many(
+                            rows[members],
+                            [chunk_states[m] for m in members],
+                        )
+                        for full in full_batches:
+                            dispatch(full, "full")
+                for state in chunk_states:
+                    state.preprocess_complete()
+
+        # ---------------- stages 3+4: lookup/reduce + merge ----------------
+        def lookup_worker() -> None:
+            while True:
+                item = completions.get()
+                if item is None:
+                    return
+                self._deliver(item)
+
+        # ---------------- timeout flusher ----------------
+        def flusher() -> None:
+            assert timeout is not None
+            interval = max(timeout / 4.0, 1e-3)
+            while not stop_flusher.wait(interval):
+                for batch in batchers.flush_stale(timeout):
+                    dispatch(batch, "timeout")
+                self._flush_double_buffers(double_buffers, db_lock, completions)
+
+        n_pre = max(1, threads // 2)
+        n_lookup = max(1, threads - n_pre)
+        pre_threads = [
+            threading.Thread(target=preprocess_worker, daemon=True, name=f"pre-{i}")
+            for i in range(n_pre)
+        ]
+        lookup_threads = [
+            threading.Thread(target=lookup_worker, daemon=True, name=f"lookup-{i}")
+            for i in range(n_lookup)
+        ]
+        flusher_thread = None
+        if timeout is not None:
+            flusher_thread = threading.Thread(target=flusher, daemon=True, name="flusher")
+
+        callback = None
+        if on_result is not None:
+            def callback(state: QueryState) -> None:
+                on_result(state.query_index, state.result)
+
+        start = time.perf_counter()
+        for t in pre_threads + lookup_threads:
+            t.start()
+        if flusher_thread:
+            flusher_thread.start()
+
+        # Feed queries (optionally paced to a target arrival rate).
+        for lo in range(0, n, _FEED_CHUNK):
+            chunk = np.arange(lo, min(lo + _FEED_CHUNK, n))
+            for qi in chunk:
+                states[qi] = QueryState(int(qi), unique, on_complete=callback)
+            work.put(chunk)
+            if arrival_rate_qps:
+                target = start + (lo + chunk.size) / arrival_rate_qps
+                delay = target - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+
+        for _ in pre_threads:
+            work.put(None)
+        for t in pre_threads:
+            t.join()
+
+        # Shutdown: flush partial batches, then drain the device streams
+        # and the deferred double-buffer cycles.
+        for batch in batchers.flush_all():
+            dispatch(batch, "shutdown")
+        if flusher_thread:
+            stop_flusher.set()
+            flusher_thread.join()
+        for device in self.tagset_table.devices:
+            device.synchronize()
+        self._flush_double_buffers(double_buffers, db_lock, completions)
+        for device in self.tagset_table.devices:
+            device.synchronize()
+
+        # Wait for every query to finalize, then stop lookup workers.
+        for state in states:
+            assert state is not None
+            state.wait(timeout=120.0)
+        elapsed = time.perf_counter() - start
+        for _ in lookup_threads:
+            completions.put(None)
+        for t in lookup_threads:
+            t.join()
+        for db in double_buffers.values():
+            db.free()
+
+        results = [s.result for s in states]  # type: ignore[misc]
+        latencies = np.array([s.latency_s for s in states])  # type: ignore[union-attr]
+        return PipelineRun(
+            results=results, latencies_s=latencies, elapsed_s=elapsed, stats=stats
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _flush_double_buffers(
+        self,
+        double_buffers: dict[Stream, DoubleBufferedResults],
+        db_lock: threading.Lock,
+        completions: queue.Queue,
+    ) -> None:
+        """Enqueue a flush op on every stream with a deferred cycle."""
+        with db_lock:
+            items = list(double_buffers.items())
+        for stream, db in items:
+            def flush_op(db=db):
+                delivered = db.flush()
+                if delivered is not None:
+                    completions.put(delivered)
+
+            if not stream.closed:
+                stream.enqueue(flush_op, label="flush-results")
+
+    def _deliver(self, cycle: CycleResult) -> None:
+        """Key lookup/reduce for one returned batch (stage 3)."""
+        batch_states: list[QueryState] = cycle.meta
+        q_ids, set_ids = unpack_results(cycle.packed, cycle.num_pairs)
+        if cycle.num_pairs == 0:
+            for state in batch_states:
+                state.deliver_keys(np.empty(0, dtype=np.int64))
+            return
+        order = np.argsort(q_ids, kind="stable")
+        q_sorted = q_ids[order]
+        sets_sorted = set_ids[order].astype(np.int64)
+        keys = self.key_table.keys_of_many(sets_sorted)
+        key_counts = self.key_table.counts_of_many(sets_sorted)
+        key_offsets = np.zeros(q_sorted.size + 1, dtype=np.int64)
+        np.cumsum(key_counts, out=key_offsets[1:])
+        # Split the concatenated keys at query boundaries.
+        boundaries = np.nonzero(np.diff(q_sorted))[0] + 1
+        group_starts = np.concatenate(([0], boundaries))
+        group_ends = np.concatenate((boundaries, [q_sorted.size]))
+        seen = np.zeros(len(batch_states), dtype=bool)
+        for gs, ge in zip(group_starts, group_ends):
+            local_q = int(q_sorted[gs])
+            chunk = keys[key_offsets[gs] : key_offsets[ge]]
+            batch_states[local_q].deliver_keys(chunk)
+            seen[local_q] = True
+        for local_q in np.nonzero(~seen)[0]:
+            batch_states[local_q].deliver_keys(np.empty(0, dtype=np.int64))

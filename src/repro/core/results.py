@@ -1,0 +1,128 @@
+"""Per-query result accumulation and the merge stage (§3.4).
+
+For every query flowing through the pipeline TagMatch keeps a counter of
+the batches (partitions) the query was forwarded to.  Key lookups from
+returning batches accumulate against the query; when pre-processing has
+finished *and* the counter drops to zero, the query runs through the
+final merge stage: a plain concatenation for ``match`` (multiset
+semantics) or a set union for ``match-unique``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["QueryState", "merge_keys"]
+
+
+def merge_keys(chunks: list[np.ndarray], unique: bool) -> np.ndarray:
+    """The merge stage: combine per-batch key lists for one query."""
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    merged = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+    if unique:
+        return np.unique(merged)
+    return merged
+
+
+class QueryState:
+    """Tracks one in-flight query through the matching pipeline."""
+
+    __slots__ = (
+        "query_index",
+        "unique",
+        "enqueue_time",
+        "complete_time",
+        "result",
+        "on_complete",
+        "_lock",
+        "_pending_batches",
+        "_preprocess_done",
+        "_chunks",
+        "_done",
+    )
+
+    def __init__(self, query_index: int, unique: bool, on_complete=None) -> None:
+        self.query_index = query_index
+        self.unique = unique
+        #: Optional callback fired (from a pipeline worker thread) the
+        #: moment this query's merge completes: ``on_complete(state)``.
+        self.on_complete = on_complete
+        self.enqueue_time = time.perf_counter()
+        self.complete_time: float | None = None
+        self.result: np.ndarray | None = None
+        self._lock = threading.Lock()
+        self._pending_batches = 0
+        self._preprocess_done = False
+        self._chunks: list[np.ndarray] = []
+        self._done = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Pipeline hooks
+    # ------------------------------------------------------------------
+    def add_batch(self) -> None:
+        """Pre-process forwarded this query into one more batch."""
+        self.add_batches(1)
+
+    def add_batches(self, n: int) -> None:
+        """Pre-process forwarded this query into ``n`` more batches."""
+        if n < 0:
+            raise ReproError("batch count must be non-negative")
+        with self._lock:
+            if self._preprocess_done:
+                raise ReproError("add_batch after preprocess_complete")
+            self._pending_batches += n
+
+    def preprocess_complete(self) -> None:
+        """Pre-processing finished; the query joins no further batches."""
+        finalize = False
+        with self._lock:
+            self._preprocess_done = True
+            finalize = self._pending_batches == 0
+        if finalize:
+            self._finalize()
+
+    def deliver_keys(self, keys: np.ndarray) -> None:
+        """One batch returned from the GPU with this query's keys."""
+        finalize = False
+        with self._lock:
+            if self._pending_batches <= 0:
+                raise ReproError("deliver_keys without a pending batch")
+            if keys.size:
+                self._chunks.append(keys)
+            self._pending_batches -= 1
+            finalize = self._preprocess_done and self._pending_batches == 0
+        if finalize:
+            self._finalize()
+
+    def _finalize(self) -> None:
+        self.result = merge_keys(self._chunks, self.unique)
+        self._chunks = []
+        self.complete_time = time.perf_counter()
+        self._done.set()
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> np.ndarray:
+        if not self._done.wait(timeout):
+            raise ReproError(f"query {self.query_index} did not complete in time")
+        assert self.result is not None
+        return self.result
+
+    @property
+    def latency_s(self) -> float:
+        if self.complete_time is None:
+            raise ReproError("query not complete yet")
+        return self.complete_time - self.enqueue_time

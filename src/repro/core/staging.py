@@ -1,0 +1,179 @@
+"""Staged additions and removals (the *temporary index* of §2).
+
+``add-set`` and ``remove-set`` are not immediately effective: they are
+staged and become visible only after ``consolidate()`` rebuilds the
+index.  The staging area stores one row per ``(tag set, key)``
+association; consolidation turns the surviving associations into the
+unique-signature database that partitioning operates on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bloom.hashing import TagHasher
+from repro.errors import ValidationError
+
+__all__ = ["StagingArea", "ConsolidatedDatabase"]
+
+
+class ConsolidatedDatabase:
+    """The association table after a consolidate: one row per (set, key).
+
+    ``blocks[i]`` is the signature of association ``i`` and ``keys[i]``
+    its key.  Unique signatures and the grouped key table are derived
+    from this by the engine.  When the staging area stores original tag
+    sets (exact-check mode), ``tag_sets[i]`` is the frozenset behind
+    association ``i``.
+    """
+
+    def __init__(
+        self,
+        blocks: np.ndarray,
+        keys: np.ndarray,
+        tag_sets: list[frozenset[str]] | None = None,
+    ) -> None:
+        if blocks.ndim != 2 or blocks.shape[0] != keys.shape[0]:
+            raise ValidationError("blocks and keys must be parallel")
+        if tag_sets is not None and len(tag_sets) != blocks.shape[0]:
+            raise ValidationError("tag_sets must parallel blocks")
+        self.blocks = blocks
+        self.keys = keys
+        self.tag_sets = tag_sets
+
+    def __len__(self) -> int:
+        return self.blocks.shape[0]
+
+
+class StagingArea:
+    """Accumulates pending add/remove operations between consolidations.
+
+    With ``store_tags=True`` the original tag sets are retained alongside
+    the signatures so the engine can run the optional exact subset check
+    that removes Bloom false positives (§3).
+    """
+
+    def __init__(self, hasher: TagHasher, store_tags: bool = False) -> None:
+        self._hasher = hasher
+        self.store_tags = store_tags
+        self._add_blocks: list[tuple[int, ...]] = []
+        self._add_keys: list[int] = []
+        self._add_tags: list[frozenset[str]] = []
+        self._remove_blocks: list[tuple[int, ...]] = []
+        self._remove_keys: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Staging
+    # ------------------------------------------------------------------
+    def stage_add(self, tags, key: int) -> None:
+        """Stage ``add-set(tags, key)``."""
+        tags = frozenset(tags)
+        self._add_blocks.append(self._hasher.encode_set(tags))
+        self._add_keys.append(int(key))
+        if self.store_tags:
+            self._add_tags.append(tags)
+
+    def stage_add_signature(self, blocks: tuple[int, ...], key: int) -> None:
+        """Fast path: stage an already-encoded signature."""
+        if self.store_tags:
+            raise ValidationError(
+                "signature-only staging is incompatible with store_tags"
+            )
+        if len(blocks) != self._hasher.num_blocks:
+            raise ValidationError("signature block count mismatch")
+        self._add_blocks.append(tuple(int(b) for b in blocks))
+        self._add_keys.append(int(key))
+
+    def stage_add_bulk(self, blocks: np.ndarray, keys: np.ndarray) -> None:
+        """Fast path: stage many pre-encoded associations at once.
+
+        Benchmarks loading hundreds of thousands of workload sets use
+        this to skip per-row Python overhead.
+        """
+        if self.store_tags:
+            raise ValidationError("bulk staging is incompatible with store_tags")
+        blocks = np.ascontiguousarray(blocks, dtype=np.uint64)
+        keys = np.asarray(keys)
+        if blocks.ndim != 2 or blocks.shape[1] != self._hasher.num_blocks:
+            raise ValidationError("signature block count mismatch")
+        if blocks.shape[0] != keys.shape[0]:
+            raise ValidationError("blocks and keys must be parallel")
+        for row, key in zip(blocks, keys):
+            self._add_blocks.append(tuple(int(w) for w in row))
+            self._add_keys.append(int(key))
+
+    def stage_remove(self, tags, key: int) -> None:
+        """Stage ``remove-set(tags, key)``."""
+        self._remove_blocks.append(self._hasher.encode_set(tags))
+        self._remove_keys.append(int(key))
+
+    @property
+    def pending_adds(self) -> int:
+        return len(self._add_blocks)
+
+    @property
+    def pending_removes(self) -> int:
+        return len(self._remove_blocks)
+
+    @property
+    def dirty(self) -> bool:
+        """True when staged operations have not been consolidated yet."""
+        return bool(self._add_blocks or self._remove_blocks)
+
+    # ------------------------------------------------------------------
+    # Consolidation
+    # ------------------------------------------------------------------
+    def apply(self, current: ConsolidatedDatabase | None) -> ConsolidatedDatabase:
+        """Apply staged operations to ``current`` and clear the stage.
+
+        Each staged remove deletes *one* matching ``(signature, key)``
+        association (matching the interface's multiset semantics); a
+        remove with no matching association is ignored, like deleting a
+        non-existent row.
+        """
+        num_blocks = self._hasher.num_blocks
+        parts = []
+        key_parts = []
+        tag_sets: list[frozenset[str]] | None = [] if self.store_tags else None
+        if current is not None and len(current):
+            parts.append(current.blocks)
+            key_parts.append(current.keys)
+            if tag_sets is not None:
+                if current.tag_sets is None:
+                    raise ValidationError(
+                        "store_tags staging applied to a database without tag sets"
+                    )
+                tag_sets.extend(current.tag_sets)
+        if self._add_blocks:
+            parts.append(np.array(self._add_blocks, dtype=np.uint64))
+            key_parts.append(np.array(self._add_keys, dtype=np.int64))
+            if tag_sets is not None:
+                tag_sets.extend(self._add_tags)
+        if parts:
+            blocks = np.vstack(parts)
+            keys = np.concatenate(key_parts)
+        else:
+            blocks = np.empty((0, num_blocks), dtype=np.uint64)
+            keys = np.empty(0, dtype=np.int64)
+
+        if self._remove_blocks:
+            alive = np.ones(len(keys), dtype=bool)
+            for sig, key in zip(self._remove_blocks, self._remove_keys):
+                hits = np.nonzero(
+                    alive
+                    & (keys == key)
+                    & np.all(blocks == np.array(sig, dtype=np.uint64), axis=1)
+                )[0]
+                if hits.size:
+                    alive[hits[0]] = False
+            blocks = blocks[alive]
+            keys = keys[alive]
+            if tag_sets is not None:
+                tag_sets = [ts for ts, ok in zip(tag_sets, alive) if ok]
+
+        self._add_blocks.clear()
+        self._add_keys.clear()
+        self._add_tags.clear()
+        self._remove_blocks.clear()
+        self._remove_keys.clear()
+        return ConsolidatedDatabase(blocks, keys, tag_sets)

@@ -1,0 +1,146 @@
+"""The tagset table: partitioned, sorted signatures in GPU memory.
+
+Figure 1: the tagset table lives on the GPU and associates each tag set
+in each partition with a unique id pointing into the host-side key
+table.  Within a partition the signatures are kept in lexicographic
+order so that consecutive thread blocks share long common prefixes
+(Algorithm 4).
+
+TagMatch "may also replicate the tagset table on all available GPUs to
+match queries in parallel on multiple GPUs.  Alternatively, TagMatch can
+also partially replicate or simply partition an extremely large tagset
+table on multiple GPUs" (§3); both placements are supported here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bloom.array import SignatureArray
+from repro.core.partitioning import Partition
+from repro.errors import ValidationError
+from repro.gpu.device import Device
+from repro.gpu.kernels import block_prefixes
+from repro.gpu.memory import DeviceBuffer
+
+__all__ = ["PartitionResidency", "TagsetTable"]
+
+
+@dataclass
+class PartitionResidency:
+    """One partition resident on one device.
+
+    ``prefixes`` caches the thread-block common-prefix masks of
+    Algorithm 4 — partition contents only change at consolidation, so
+    the kernel never recomputes them per invocation.
+    """
+
+    partition_id: int
+    device: Device
+    sets: DeviceBuffer
+    ids: DeviceBuffer
+    prefixes: DeviceBuffer
+
+    def __len__(self) -> int:
+        return self.sets.array().shape[0]
+
+
+class TagsetTable:
+    """Uploads partitions to device memory and routes partition → device."""
+
+    def __init__(
+        self,
+        blocks: np.ndarray,
+        partitions: list[Partition],
+        devices: list[Device],
+        width: int,
+        replicate: bool = True,
+        thread_block_size: int = 1024,
+        replication_factor: int | None = None,
+    ) -> None:
+        if not devices:
+            raise ValidationError("need at least one device")
+        if replication_factor is not None and not (
+            1 <= replication_factor <= len(devices)
+        ):
+            raise ValidationError("replication_factor out of range")
+        self.width = width
+        self.devices = devices
+        self.replicate = replicate
+        #: Copies per partition: full replication, a single home, or the
+        #: partial replication middle ground (§3).
+        self.copies = (
+            replication_factor
+            if replication_factor is not None
+            else (len(devices) if replicate else 1)
+        )
+        self.num_sets = blocks.shape[0]
+        self.partitions = partitions
+
+        # residency[partition_id] -> list of PartitionResidency (one per
+        # device holding that partition).
+        self._residency: list[list[PartitionResidency]] = []
+        self._round_robin = 0
+
+        arr = SignatureArray(blocks, width=width)
+        for pid, partition in enumerate(partitions):
+            sub = arr.take(partition.indices)
+            order = sub.lex_sort_order()
+            sorted_sets = sub.blocks[order]
+            sorted_ids = partition.indices[order].astype(np.uint32)
+            prefixes = block_prefixes(sorted_sets, thread_block_size)
+            targets = [
+                devices[(pid + j) % len(devices)] for j in range(self.copies)
+            ]
+            homes = []
+            for device in targets:
+                homes.append(
+                    PartitionResidency(
+                        partition_id=pid,
+                        device=device,
+                        sets=device.htod(sorted_sets, label=f"partition-{pid}/sets"),
+                        ids=device.htod(sorted_ids, label=f"partition-{pid}/ids"),
+                        prefixes=device.htod(
+                            prefixes, label=f"partition-{pid}/prefixes"
+                        ),
+                    )
+                )
+            self._residency.append(homes)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._residency)
+
+    def residency(self, partition_id: int) -> PartitionResidency:
+        """Pick a device copy for this partition.
+
+        With replication the copies rotate round-robin so concurrent
+        batches spread across all GPUs (maximal inter-GPU parallelism);
+        without replication each partition has a single home.
+        """
+        if not 0 <= partition_id < len(self._residency):
+            raise ValidationError(f"partition id {partition_id} out of range")
+        homes = self._residency[partition_id]
+        if len(homes) == 1:
+            return homes[0]
+        self._round_robin = (self._round_robin + 1) % len(homes)
+        return homes[self._round_robin]
+
+    @property
+    def gpu_bytes(self) -> int:
+        """Total device memory held by the table (Figure 9's GPU bars)."""
+        return sum(
+            home.sets.nbytes + home.ids.nbytes + home.prefixes.nbytes
+            for homes in self._residency
+            for home in homes
+        )
+
+    def free(self) -> None:
+        """Release every device buffer."""
+        for homes in self._residency:
+            for home in homes:
+                for buffer in (home.sets, home.ids, home.prefixes):
+                    if not buffer.freed:
+                        buffer.free()

@@ -1,0 +1,160 @@
+"""The alternative GPU-only design of §4.5 (dynamic parallelism).
+
+Early TagMatch prototypes ran *both* the pre-process and the subset-match
+phases on the GPU: a parent kernel classifies queries against partition
+masks and appends them to per-partition queues in global memory, and
+launches a child subset-match kernel whenever a queue fills — CUDA
+"dynamic parallelism".  The paper reports that this design only wins when
+the pre-process phase filters out most queries; otherwise the atomic
+appends and the nearly random global-memory access pattern of queue
+maintenance dominate.
+
+This module reproduces that architecture over the simulated device so the
+trade-off can be measured (`bench_sec45_gpu_only_design`).  Functional
+output is identical to the hybrid pipeline; only the simulated time
+breakdown differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gpu.device import Device
+from repro.gpu.kernels import subset_match_kernel
+
+__all__ = ["DevicePartition", "DynamicParallelismMatcher", "GpuOnlyTimings"]
+
+
+@dataclass
+class DevicePartition:
+    """One partition resident in device memory.
+
+    ``sets`` must be lexicographically sorted; ``ids`` are the global set
+    ids parallel to ``sets``; ``mask`` is the partition's defining bit
+    mask (all sets contain it).
+    """
+
+    mask: np.ndarray
+    sets: np.ndarray
+    ids: np.ndarray
+
+
+@dataclass
+class GpuOnlyTimings:
+    """Simulated time breakdown of one GPU-only batch."""
+
+    preprocess_kernel_s: float
+    atomic_append_s: float
+    random_access_s: float
+    child_kernels_s: float
+    result_transfer_s: float
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.preprocess_kernel_s
+            + self.atomic_append_s
+            + self.random_access_s
+            + self.child_kernels_s
+            + self.result_transfer_s
+        )
+
+
+class DynamicParallelismMatcher:
+    """GPU-only matcher: pre-process and subset match both on the device."""
+
+    def __init__(
+        self,
+        device: Device,
+        partitions: list[DevicePartition],
+        thread_block_size: int = 1024,
+    ) -> None:
+        if not partitions:
+            raise ValidationError("need at least one partition")
+        self.device = device
+        self.partitions = partitions
+        self.thread_block_size = thread_block_size
+        self._masks = np.stack([p.mask for p in partitions])
+
+    def match_batch(
+        self, queries: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, GpuOnlyTimings]:
+        """Match a query batch entirely on the device.
+
+        Returns ``(query_ids, set_ids, timings)``.  Query ids are batch
+        positions (int64 here: the GPU-only design keeps results in global
+        memory, so the 8-bit packing constraint does not apply).
+        """
+        if queries.ndim != 2:
+            raise ValidationError("queries must be a 2-D block array")
+        cost = self.device.cost_model
+        clock = self.device.clock
+        batch = queries.shape[0]
+        num_partitions = len(self.partitions)
+
+        # Parent kernel: one thread per (query, partition-mask) check.
+        relevant = ~np.any(
+            self._masks[:, None, :] & ~queries[None, :, :], axis=2
+        )  # (partitions, batch)
+        preprocess_s = cost.kernel_time(
+            threads=batch, checks_per_thread=num_partitions
+        )
+        clock.add_kernel(preprocess_s)
+
+        # Every relevant (partition, query) pair is one atomic slot
+        # reservation plus an uncoalesced copy of the query's block words
+        # into that partition's queue in global memory.
+        copies = int(relevant.sum())
+        words_per_query = queries.shape[1]
+        atomic_s = copies * cost.atomic_op_s
+        random_s = copies * words_per_query * cost.random_access_s
+        clock.add_atomic(atomic_s)
+        clock.add_random_access(random_s)
+
+        # Child kernels: one launch per partition with a non-empty queue.
+        out_q: list[np.ndarray] = []
+        out_s: list[np.ndarray] = []
+        child_s = 0.0
+        for pi, partition in enumerate(self.partitions):
+            q_idx = np.nonzero(relevant[pi])[0]
+            if q_idx.size == 0:
+                continue
+            sub = queries[q_idx]
+            # Child kernels inherit the 8-bit in-batch id limit per launch;
+            # split the queue if it exceeds 256 entries.
+            for start in range(0, q_idx.size, 256):
+                chunk_idx = q_idx[start : start + 256]
+                result = subset_match_kernel(
+                    partition.sets,
+                    partition.ids,
+                    sub[start : start + 256],
+                    thread_block_size=self.thread_block_size,
+                    prefilter=True,
+                    cost_model=cost,
+                    clock=clock,
+                )
+                child_s += result.stats.simulated_time_s
+                if result.query_ids.size:
+                    out_q.append(chunk_idx[result.query_ids.astype(np.int64)])
+                    out_s.append(result.set_ids)
+
+        if out_q:
+            query_ids = np.concatenate(out_q)
+            set_ids = np.concatenate(out_s)
+        else:
+            query_ids = np.empty(0, dtype=np.int64)
+            set_ids = np.empty(0, dtype=np.uint32)
+
+        transfer_s = cost.transfer_time(query_ids.size * 12)
+        clock.add_transfer(transfer_s)
+        timings = GpuOnlyTimings(
+            preprocess_kernel_s=preprocess_s,
+            atomic_append_s=atomic_s,
+            random_access_s=random_s,
+            child_kernels_s=child_s,
+            result_transfer_s=transfer_s,
+        )
+        return query_ids, set_ids, timings

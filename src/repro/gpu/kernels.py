@@ -1,0 +1,246 @@
+"""SPMD subset-match kernels (Algorithms 3 and 4).
+
+The paper's kernel assigns one indexed tag set per GPU thread; each
+thread checks its set against every query of the batch and atomically
+appends matches to a shared output vector.  Threads are organised in
+blocks of consecutive ids, and because the tagset table is stored in
+lexicographic order, the first thread of each block can compute the
+longest common prefix of all sets in the block and use it to *pre-filter*
+the query batch in shared memory (Algorithm 4) — the paper's single most
+significant kernel optimisation.
+
+Here one NumPy broadcast plays the role of one thread block: the loop
+over thread blocks is explicit (it is also the unit of pre-filtering),
+and everything inside a block is vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bloom.hashing import BLOCK_BITS
+from repro.bloom.ops import containment_matrix
+from repro.errors import ValidationError
+from repro.gpu.timing import CostModel, DeviceClock
+
+__all__ = [
+    "KernelStats",
+    "KernelResult",
+    "subset_match_kernel",
+    "block_prefixes",
+    "DEFAULT_THREAD_BLOCK_SIZE",
+]
+
+#: Threads (indexed sets) per thread block.
+DEFAULT_THREAD_BLOCK_SIZE = 1024
+
+_U64 = np.uint64
+_ALL_ONES = _U64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass
+class KernelStats:
+    """Observable work performed by one kernel invocation."""
+
+    num_threads: int
+    num_thread_blocks: int
+    batch_size: int
+    #: Query slots surviving Algorithm 4 across all blocks; equals
+    #: ``num_thread_blocks * batch_size`` when pre-filtering is disabled.
+    surviving_query_slots: int
+    num_pairs: int
+    simulated_time_s: float
+
+    @property
+    def prefilter_ratio(self) -> float:
+        """Fraction of per-block query slots removed by pre-filtering."""
+        total = self.num_thread_blocks * self.batch_size
+        if total == 0:
+            return 0.0
+        return 1.0 - self.surviving_query_slots / total
+
+
+@dataclass
+class KernelResult:
+    """Matches found by one kernel invocation.
+
+    ``query_ids[i]`` is the batch-local 8-bit id of the matched query and
+    ``set_ids[i]`` the 32-bit global id of the matching indexed set — the
+    ``(q, s)`` pairs of §3.3.1, before packing.
+    """
+
+    query_ids: np.ndarray
+    set_ids: np.ndarray
+    stats: KernelStats
+
+
+def _bit_length_u64(x: np.ndarray) -> np.ndarray:
+    x = x.astype(_U64, copy=True)
+    n = np.zeros(x.shape, dtype=np.int64)
+    for shift in (32, 16, 8, 4, 2, 1):
+        big = x >= (_U64(1) << _U64(shift))
+        n[big] += shift
+        x[big] >>= _U64(shift)
+    n[x > 0] += 1
+    return n
+
+
+def _leftmost_one(blocks: np.ndarray, width: int) -> np.ndarray:
+    """Leftmost one-bit position per row; ``width`` for all-zero rows."""
+    n, num_blocks = blocks.shape
+    out = np.full(n, width, dtype=np.int64)
+    undecided = np.ones(n, dtype=bool)
+    for col in range(num_blocks):
+        column = blocks[:, col]
+        hit = undecided & (column != 0)
+        if np.any(hit):
+            lengths = _bit_length_u64(column[hit])
+            out[hit] = col * BLOCK_BITS + (BLOCK_BITS - lengths)
+            undecided &= ~hit
+        if not np.any(undecided):
+            break
+    return out
+
+
+def block_prefixes(sets: np.ndarray, thread_block_size: int) -> np.ndarray:
+    """Longest-common-prefix masks per thread block (Algorithm 4).
+
+    ``sets`` is the lexicographically sorted ``(n, num_blocks)`` uint64
+    partition.  For each chunk of ``thread_block_size`` consecutive rows
+    the prefix is the first row with every bit at position ≥ the leftmost
+    differing bit (between first and last row) cleared.  Returns a
+    ``(num_thread_blocks, num_blocks)`` uint64 array.
+    """
+    n, num_blocks = sets.shape
+    width = num_blocks * BLOCK_BITS
+    starts = np.arange(0, n, thread_block_size)
+    ends = np.minimum(starts + thread_block_size - 1, n - 1)
+    firsts = sets[starts]
+    lasts = sets[ends]
+    prefix_len = _leftmost_one(firsts ^ lasts, width)
+
+    # Per block-word: how many leading bits of this word belong to the
+    # common prefix (0..64), then build the keep-mask.
+    word_base = np.arange(num_blocks, dtype=np.int64) * BLOCK_BITS
+    kept = np.clip(prefix_len[:, None] - word_base[None, :], 0, BLOCK_BITS)
+    shift = (BLOCK_BITS - kept).astype(_U64)
+    # shift == 64 (kept == 0) would overflow; mask those lanes to zero.
+    safe_shift = np.minimum(shift, _U64(BLOCK_BITS - 1))
+    masks = np.where(kept > 0, _ALL_ONES << safe_shift, _U64(0))
+    return firsts & masks.astype(_U64)
+
+
+def subset_match_kernel(
+    sets: np.ndarray,
+    set_ids: np.ndarray,
+    queries: np.ndarray,
+    thread_block_size: int = DEFAULT_THREAD_BLOCK_SIZE,
+    prefilter: bool = True,
+    cost_model: CostModel | None = None,
+    clock: DeviceClock | None = None,
+    prefixes: np.ndarray | None = None,
+) -> KernelResult:
+    """Match a batch of queries against one partition (Algorithms 3–4).
+
+    Parameters
+    ----------
+    sets:
+        ``(n, num_blocks)`` uint64 partition rows.  Must be sorted
+        lexicographically when ``prefilter`` is on (the tagset table
+        guarantees this); the prefix trick is only correct on sorted data.
+    set_ids:
+        ``(n,)`` uint32 global set ids parallel to ``sets``.
+    queries:
+        ``(b, num_blocks)`` uint64 query batch; ``b`` must fit the 8-bit
+        batch-local query id of the output format (≤ 256).
+    prefilter:
+        Enable the Algorithm 4 shared-memory pre-filter.  Disabling it is
+        the ablation of `bench_ablation_prefilter`.
+    cost_model, clock:
+        When given, the kernel's simulated device time (launch overhead +
+        folded thread work + atomic appends) is charged to ``clock``.
+    prefixes:
+        Optional precomputed :func:`block_prefixes` for ``sets`` at this
+        ``thread_block_size`` (the tagset table caches them at upload
+        time, since partition contents only change at consolidation).
+    """
+    if sets.ndim != 2 or queries.ndim != 2:
+        raise ValidationError("sets and queries must be 2-D block arrays")
+    if sets.shape[1] != queries.shape[1]:
+        raise ValidationError("sets and queries have different block counts")
+    if len(set_ids) != len(sets):
+        raise ValidationError("set_ids must parallel sets")
+    batch_size = queries.shape[0]
+    if batch_size > 256:
+        raise ValidationError(
+            f"batch of {batch_size} queries does not fit 8-bit query ids"
+        )
+    n = sets.shape[0]
+    if n == 0 or batch_size == 0:
+        empty_stats = KernelStats(0, 0, batch_size, 0, 0, 0.0)
+        return KernelResult(
+            np.empty(0, dtype=np.uint8), np.empty(0, dtype=np.uint32), empty_stats
+        )
+
+    ids = np.ascontiguousarray(set_ids, dtype=np.uint32)
+    num_blocks_words = sets.shape[1]
+    num_tblocks = -(-n // thread_block_size)
+
+    if prefilter:
+        if prefixes is None:
+            prefixes = block_prefixes(sets, thread_block_size)
+        # prefix ⊆ q, vectorized over (thread block × query).
+        survive = containment_matrix(prefixes, queries)
+    else:
+        survive = np.ones((num_tblocks, batch_size), dtype=bool)
+
+    out_q: list[np.ndarray] = []
+    out_s: list[np.ndarray] = []
+    surviving_slots = 0
+    for tb in range(num_tblocks):
+        q_idx = np.nonzero(survive[tb])[0]
+        if q_idx.size == 0:
+            continue
+        surviving_slots += q_idx.size
+        start = tb * thread_block_size
+        stop = min(start + thread_block_size, n)
+        chunk = sets[start:stop]
+        # (threads, surviving queries): thread t matches query j iff
+        # chunk[t] & ~query[j] == 0 in every block word (footnote 4).
+        matches = containment_matrix(
+            chunk, queries if q_idx.size == batch_size else queries[q_idx]
+        )
+        rows, cols = np.nonzero(matches)
+        if rows.size:
+            out_q.append(q_idx[cols].astype(np.uint8))
+            out_s.append(ids[start + rows])
+
+    if out_q:
+        query_ids = np.concatenate(out_q)
+        found_ids = np.concatenate(out_s)
+    else:
+        query_ids = np.empty(0, dtype=np.uint8)
+        found_ids = np.empty(0, dtype=np.uint32)
+
+    simulated = 0.0
+    if cost_model is not None:
+        checks_per_thread = surviving_slots / num_tblocks if num_tblocks else 0.0
+        prefilter_scan = batch_size / thread_block_size if prefilter else 0.0
+        simulated = cost_model.kernel_time(n, checks_per_thread + prefilter_scan)
+        simulated += query_ids.size * cost_model.atomic_op_s
+        if clock is not None:
+            clock.add_kernel(simulated)
+
+    stats = KernelStats(
+        num_threads=n,
+        num_thread_blocks=num_tblocks,
+        batch_size=batch_size,
+        surviving_query_slots=surviving_slots
+        if prefilter
+        else num_tblocks * batch_size,
+        num_pairs=int(query_ids.size),
+        simulated_time_s=simulated,
+    )
+    return KernelResult(query_ids=query_ids, set_ids=found_ids, stats=stats)

@@ -1,0 +1,128 @@
+"""Device memory: buffers, allocation accounting, host<->device copies.
+
+The simulated device stores data in ordinary NumPy arrays, but every
+allocation is charged against the device's memory capacity (the paper's
+cards have 12 GB each and §4.3.6 / Figure 9 report GPU memory usage), and
+every copy is charged to the device clock using the PCIe cost model.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import CapacityError, DeviceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gpu.device import Device
+
+__all__ = ["DeviceBuffer", "MemoryLedger", "TransferDirection", "TransferStats"]
+
+
+class TransferDirection(enum.Enum):
+    """Direction of a host<->device copy."""
+
+    HOST_TO_DEVICE = "htod"
+    DEVICE_TO_HOST = "dtoh"
+
+
+@dataclass
+class TransferStats:
+    """Aggregate bytes and operation counts moved over the simulated bus."""
+
+    htod_bytes: int = 0
+    dtoh_bytes: int = 0
+    htod_ops: int = 0
+    dtoh_ops: int = 0
+
+    def record(self, direction: TransferDirection, nbytes: int) -> None:
+        if direction is TransferDirection.HOST_TO_DEVICE:
+            self.htod_bytes += nbytes
+            self.htod_ops += 1
+        else:
+            self.dtoh_bytes += nbytes
+            self.dtoh_ops += 1
+
+    @property
+    def total_bytes(self) -> int:
+        return self.htod_bytes + self.dtoh_bytes
+
+
+class MemoryLedger:
+    """Thread-safe allocation accounting against a fixed capacity."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise DeviceError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._allocated = 0
+        self._peak = 0
+        self._lock = threading.Lock()
+
+    def allocate(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise DeviceError(f"cannot allocate {nbytes} bytes")
+        with self._lock:
+            if self._allocated + nbytes > self.capacity_bytes:
+                raise CapacityError(
+                    f"allocation of {nbytes} bytes exceeds device capacity "
+                    f"({self._allocated}/{self.capacity_bytes} in use)"
+                )
+            self._allocated += nbytes
+            self._peak = max(self._peak, self._allocated)
+
+    def free(self, nbytes: int) -> None:
+        with self._lock:
+            if nbytes > self._allocated:
+                raise DeviceError("freeing more memory than allocated")
+            self._allocated -= nbytes
+
+    @property
+    def allocated_bytes(self) -> int:
+        with self._lock:
+            return self._allocated
+
+    @property
+    def peak_bytes(self) -> int:
+        with self._lock:
+            return self._peak
+
+
+@dataclass
+class DeviceBuffer:
+    """A block of simulated device memory holding a NumPy array.
+
+    Buffers must be explicitly freed (or the owning device reset); the
+    ledger is how the memory-usage experiments of Figure 9 see the tagset
+    table and communication buffers.
+    """
+
+    device: "Device"
+    data: np.ndarray
+    label: str = ""
+    _freed: bool = field(default=False, repr=False)
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+    def array(self) -> np.ndarray:
+        """Access the device-resident array (kernels only)."""
+        if self._freed:
+            raise DeviceError(f"use-after-free of device buffer {self.label!r}")
+        return self.data
+
+    def free(self) -> None:
+        """Release the buffer's bytes back to the device ledger."""
+        if self._freed:
+            raise DeviceError(f"double free of device buffer {self.label!r}")
+        self._freed = True
+        self.device.ledger.free(self.data.nbytes)

@@ -1,0 +1,112 @@
+"""Cost model and simulated clock for the software GPU device.
+
+The reproduction replaces the paper's NVIDIA TITAN X cards with a software
+device (see DESIGN.md §1).  Real wall-clock time of the NumPy-vectorized
+kernels drives the throughput benchmarks, but several of the paper's
+arguments are about *device-side* costs that a host-side simulation cannot
+observe directly:
+
+* kernel launch overhead and PCIe round trips (§3.3.2 motivates streams
+  and double buffering with them),
+* bus bandwidth (§3.3.1 motivates the packed result layout with it),
+* atomic operations and random global-memory access (§4.5 explains why
+  the GPU-only design loses with them).
+
+:class:`CostModel` prices those events with constants in the right order
+of magnitude for a 2016 commodity GPU, and :class:`DeviceClock`
+accumulates the simulated time per category so benchmarks can report the
+same trade-offs the paper discusses.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["CostModel", "DeviceClock"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Prices for simulated device events (all in seconds or bytes/s).
+
+    Defaults approximate a TITAN X (Maxwell) on PCIe 3.0 x16: ~12 GB/s
+    effective bus bandwidth, ~5 µs kernel launch, ~10 µs bus latency per
+    transfer, ~3000 parallel hardware lanes (24 SMs × 128 cores).
+    """
+
+    kernel_launch_overhead_s: float = 5e-6
+    pcie_latency_s: float = 10e-6
+    pcie_bandwidth_bytes_per_s: float = 12e9
+    parallel_lanes: int = 3072
+    #: Cost of one 192-bit subset check in one hardware lane.
+    subset_check_s: float = 2e-9
+    #: Cost of one atomic read-modify-write on global memory.
+    atomic_op_s: float = 1.5e-8
+    #: Cost of one uncoalesced (random) global-memory word access.
+    random_access_s: float = 1e-8
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Simulated time for one host<->device copy of ``nbytes``."""
+        return self.pcie_latency_s + nbytes / self.pcie_bandwidth_bytes_per_s
+
+    def kernel_time(self, threads: int, checks_per_thread: float) -> float:
+        """Simulated execution time of an SPMD kernel.
+
+        ``threads`` are folded onto :attr:`parallel_lanes` hardware lanes;
+        each thread performs ``checks_per_thread`` subset checks.
+        """
+        waves = max(1, -(-threads // self.parallel_lanes))  # ceil division
+        return (
+            self.kernel_launch_overhead_s
+            + waves * checks_per_thread * self.subset_check_s
+        )
+
+
+@dataclass
+class DeviceClock:
+    """Thread-safe accumulator of simulated device time per category."""
+
+    kernel_s: float = 0.0
+    transfer_s: float = 0.0
+    atomic_s: float = 0.0
+    random_access_s: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def add_kernel(self, seconds: float) -> None:
+        with self._lock:
+            self.kernel_s += seconds
+
+    def add_transfer(self, seconds: float) -> None:
+        with self._lock:
+            self.transfer_s += seconds
+
+    def add_atomic(self, seconds: float) -> None:
+        with self._lock:
+            self.atomic_s += seconds
+
+    def add_random_access(self, seconds: float) -> None:
+        with self._lock:
+            self.random_access_s += seconds
+
+    @property
+    def total_s(self) -> float:
+        with self._lock:
+            return self.kernel_s + self.transfer_s + self.atomic_s + self.random_access_s
+
+    def reset(self) -> None:
+        with self._lock:
+            self.kernel_s = 0.0
+            self.transfer_s = 0.0
+            self.atomic_s = 0.0
+            self.random_access_s = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """A consistent copy of all counters (for reports)."""
+        with self._lock:
+            return {
+                "kernel_s": self.kernel_s,
+                "transfer_s": self.transfer_s,
+                "atomic_s": self.atomic_s,
+                "random_access_s": self.random_access_s,
+            }

@@ -1,0 +1,113 @@
+"""Projecting scaled measurements to the paper's full-scale deployment.
+
+The benchmarks run at ``REPRO_SCALE`` of the 212 M-set workload on a
+simulated device.  This module answers "what would this configuration do
+at full scale on the paper's hardware?" from first principles that are
+all either *measured here* or *documented constants*:
+
+* the per-query work density — how many (set × query) subset checks a
+  query induces — is measured on the scaled engine and extrapolated
+  linearly in the database size (Figure 4 confirms throughput is
+  inversely proportional to database size, i.e. work density is linear);
+* GPU service time prices those checks with the cost model (launch
+  overhead, lane count, per-check cost — the TITAN-X-calibrated numbers
+  in :class:`repro.gpu.timing.CostModel`), split across the GPUs;
+* CPU stage time is the measured pipeline overhead per query, scaled by
+  a documented C++-over-Python factor and divided over the machine's
+  cores.
+
+The result is an order-of-magnitude sanity check, not a benchmark: with
+the default constants the projection lands within a small factor of the
+paper's ~30 K match-unique queries/s, which is what one should expect
+from a model with two calibration constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import TagMatch
+from repro.gpu.timing import CostModel
+from repro.workloads.scaling import PAPER_UNIQUE_SETS
+from repro.workloads.workload import TwitterWorkload
+
+__all__ = ["FullScaleProjection", "project_full_scale", "CPP_OVER_PYTHON"]
+
+#: Documented constant: tight C++ pipeline code vs interpreted Python for
+#: the per-query bookkeeping of the CPU stages (batching, hashing,
+#: counters).  20-50x is the routinely observed range; we use the low end.
+CPP_OVER_PYTHON = 20.0
+
+
+@dataclass
+class FullScaleProjection:
+    """Projected full-scale performance of one engine configuration."""
+
+    measured_qps: float
+    measured_checks_per_query: float
+    projected_checks_per_query: float
+    gpu_service_s_per_query: float
+    cpu_stage_s_per_query: float
+    projected_qps: float
+    bottleneck: str
+
+
+def project_full_scale(
+    engine: TagMatch,
+    workload: TwitterWorkload,
+    num_queries: int = 2048,
+    paper_cores: int = 24,
+    paper_gpus: int = 2,
+    cost_model: CostModel | None = None,
+) -> FullScaleProjection:
+    """Project the engine's throughput to the paper's scale and hardware.
+
+    Measures the scaled work density and pipeline overhead on ``engine``
+    (which must be consolidated over ``workload``), then prices the
+    full-scale equivalents.
+    """
+    cost = cost_model if cost_model is not None else CostModel()
+    queries = workload.queries(num_queries, seed=123)
+
+    # Measure work density: subset checks per query on the scaled DB.
+    matrix = engine.partition_table.relevant_matrix(queries.blocks)
+    partition_sizes = [
+        len(p) for p in engine.last_consolidate.partitioning.partitions
+    ]
+    checks = 0.0
+    for pid, size in enumerate(partition_sizes):
+        checks += float(matrix[:, pid].sum()) * size
+    checks_per_query = checks / num_queries
+
+    # Measure pipeline throughput and derive the CPU-stage overhead.
+    engine.match_stream(queries.blocks[:256], unique=True)  # warm-up
+    run = engine.match_stream(queries.blocks, unique=True)
+    measured_qps = run.throughput_qps
+
+    scale_up = PAPER_UNIQUE_SETS / max(1, engine.num_unique_sets)
+    projected_checks = checks_per_query * scale_up
+
+    # GPU side: one thread per scanned set, each checking the whole
+    # 256-query batch (Algorithm 3), folded onto the device lanes and
+    # split across the GPUs.  ``projected_checks`` is scanned sets per
+    # query, which is also the thread count of the batch's kernels.
+    kernel_s = cost.kernel_time(
+        threads=int(projected_checks), checks_per_thread=256
+    )
+    gpu_per_query = kernel_s / 256 / paper_gpus + cost.transfer_time(192 // 8) / 256
+
+    # CPU side: measured per-query pipeline overhead, rescaled to a C++
+    # implementation spread over the paper's cores.
+    cpu_per_query_here = 1.0 / measured_qps
+    cpu_per_query = cpu_per_query_here / CPP_OVER_PYTHON / paper_cores
+
+    per_query = max(gpu_per_query, cpu_per_query)
+    return FullScaleProjection(
+        measured_qps=measured_qps,
+        measured_checks_per_query=checks_per_query,
+        projected_checks_per_query=projected_checks,
+        gpu_service_s_per_query=gpu_per_query,
+        cpu_stage_s_per_query=cpu_per_query,
+        projected_qps=1.0 / per_query,
+        bottleneck="gpu" if gpu_per_query >= cpu_per_query else "cpu",
+    )

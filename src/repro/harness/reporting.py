@@ -1,0 +1,118 @@
+"""Text rendering of experiment results (paper-style tables/series)."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ExperimentResult", "format_table", "save_result"]
+
+
+def _render(value: Any) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(headers: list[str], rows: list[list[Any]]) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[_render(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in cells)) if cells else len(headers[c])
+        for c in range(len(headers))
+    ]
+    def line(parts):
+        return "  ".join(p.rjust(w) for p, w in zip(parts, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure: headers, rows, raw data, notes."""
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    notes: str = ""
+    data: dict = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        parts = [f"== {self.name}: {self.title} ==", format_table(self.headers, self.rows)]
+        if self.notes:
+            parts.append(self.notes.rstrip())
+        return "\n".join(parts) + "\n"
+
+
+def save_result(result: ExperimentResult, directory: str = "benchmarks/results") -> str:
+    """Write the rendered result under ``benchmarks/results`` and return
+    the path (the bench harness also prints the same text)."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{result.name}.txt")
+    with open(path, "w") as handle:
+        handle.write(result.to_text())
+    return path
+
+
+def format_series_chart(
+    x_values: list,
+    series: dict[str, list[float]],
+    width: int = 64,
+    height: int = 12,
+    log_y: bool = False,
+) -> str:
+    """Render line series as an ASCII chart (figures in terminal form).
+
+    Each series gets a marker character; points are plotted on a
+    ``height`` x ``width`` grid with a y-axis scaled linearly or
+    logarithmically.  Intended for the figure-style experiment results.
+    """
+    import math
+
+    markers = "ox+*#@%&"
+    values = [v for ys in series.values() for v in ys if v is not None and v > 0]
+    if not values:
+        return "(no data)"
+    y_min, y_max = min(values), max(values)
+    if log_y:
+        y_min, y_max = math.log10(y_min), math.log10(y_max)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    n = len(x_values)
+    for si, (name, ys) in enumerate(series.items()):
+        marker = markers[si % len(markers)]
+        for i, y in enumerate(ys):
+            if y is None or y <= 0:
+                continue
+            yv = math.log10(y) if log_y else y
+            col = int(i * (width - 1) / max(1, n - 1))
+            row = int((yv - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    top = 10 ** y_max if log_y else y_max
+    bottom = 10 ** y_min if log_y else y_min
+    lines = [f"{top:>10.3g} ┤" + "".join(grid[0])]
+    lines += ["           │" + "".join(row) for row in grid[1:-1]]
+    lines.append(f"{bottom:>10.3g} ┤" + "".join(grid[-1]))
+    lines.append("           └" + "─" * width)
+    x_label = f"{x_values[0]} … {x_values[-1]}"
+    lines.append("            " + x_label)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append("            " + legend)
+    return "\n".join(lines)

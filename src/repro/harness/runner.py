@@ -1,0 +1,63 @@
+"""Throughput and latency measurement helpers."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["ThroughputResult", "measure_matcher", "latency_percentiles"]
+
+
+@dataclass
+class ThroughputResult:
+    """One throughput measurement of one system."""
+
+    system: str
+    num_queries: int
+    elapsed_s: float
+    output_keys: int
+
+    @property
+    def qps(self) -> float:
+        return self.num_queries / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def kqps(self) -> float:
+        """Thousands of queries per second — the paper's table unit."""
+        return self.qps / 1000.0
+
+    @property
+    def output_rate(self) -> float:
+        """Result keys emitted per second (Figure 3's metric)."""
+        return self.output_keys / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+def measure_matcher(
+    system: str,
+    match_many: Callable[[np.ndarray], Sequence[np.ndarray]],
+    queries: np.ndarray,
+) -> ThroughputResult:
+    """Time one pass of ``match_many`` over the query block array."""
+    start = time.perf_counter()
+    results = match_many(queries)
+    elapsed = time.perf_counter() - start
+    return ThroughputResult(
+        system=system,
+        num_queries=queries.shape[0],
+        elapsed_s=elapsed,
+        output_keys=int(sum(r.size for r in results)),
+    )
+
+
+def latency_percentiles(latencies_s: np.ndarray) -> dict[str, float]:
+    """The latency summary reported for Figure 6 (in milliseconds)."""
+    ms = np.asarray(latencies_s) * 1000.0
+    return {
+        "p50_ms": float(np.percentile(ms, 50)),
+        "p90_ms": float(np.percentile(ms, 90)),
+        "p99_ms": float(np.percentile(ms, 99)),
+        "max_ms": float(ms.max()),
+    }

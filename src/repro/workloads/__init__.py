@@ -1,0 +1,61 @@
+"""Workload generation: the Twitter-like messaging scenario of §4.2.
+
+Synthetic substitutes for the paper's proprietary inputs (TREC-2011
+tweets, the Kwak et al. follower graph) preserve the statistical
+structure the evaluation depends on; see DESIGN.md §1.
+"""
+
+from repro.workloads.corpus_io import (
+    corpus_from_jsonl,
+    corpus_to_jsonl,
+    iter_corpus_tweets,
+)
+from repro.workloads.interests import InterestSet, generate_interests
+from repro.workloads.languages import (
+    BILINGUAL_FRACTION,
+    SECOND_LANGUAGES,
+    TWITTER_LANGUAGES,
+    assign_languages,
+    translate_tag,
+)
+from repro.workloads.queries import QuerySet, generate_queries
+from repro.workloads.scaling import (
+    DEFAULT_SCALE,
+    PAPER_MAX_P,
+    PAPER_TWITTER_RATE_QPS,
+    PAPER_UNIQUE_SETS,
+    PAPER_USERS,
+    scale,
+    scaled,
+)
+from repro.workloads.social_graph import sample_followed_counts, sample_publishers
+from repro.workloads.tweets import TweetCorpus, generate_tweet_corpus
+from repro.workloads.workload import TwitterWorkload, generate_twitter_workload
+
+__all__ = [
+    "BILINGUAL_FRACTION",
+    "DEFAULT_SCALE",
+    "InterestSet",
+    "PAPER_MAX_P",
+    "PAPER_TWITTER_RATE_QPS",
+    "PAPER_UNIQUE_SETS",
+    "PAPER_USERS",
+    "QuerySet",
+    "SECOND_LANGUAGES",
+    "TWITTER_LANGUAGES",
+    "TweetCorpus",
+    "TwitterWorkload",
+    "assign_languages",
+    "corpus_from_jsonl",
+    "corpus_to_jsonl",
+    "generate_interests",
+    "generate_queries",
+    "generate_tweet_corpus",
+    "iter_corpus_tweets",
+    "generate_twitter_workload",
+    "sample_followed_counts",
+    "sample_publishers",
+    "scale",
+    "scaled",
+    "translate_tag",
+]

@@ -1,0 +1,111 @@
+"""Tweet-corpus serialization: plug real data into the workload pipeline.
+
+The paper builds its workload from the TREC-2011 tweet collection.  That
+data cannot ship here, but the interest generator only needs the corpus
+*shape* — publishers, their tweets, each tweet's hashtags — which this
+module reads and writes as JSON lines::
+
+    {"publisher": 17, "hashtags": ["cats", "memes"]}
+
+One line per tweet, grouped or ungrouped by publisher.  A downstream
+user with the real TREC dump (or any tweet archive) converts it to this
+format and feeds it straight into :func:`repro.workloads.interests.
+generate_interests` via :func:`corpus_from_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, TextIO
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.tweets import TweetCorpus
+
+__all__ = ["corpus_to_jsonl", "corpus_from_jsonl", "iter_corpus_tweets"]
+
+
+def iter_corpus_tweets(corpus: TweetCorpus):
+    """Yield ``(publisher, [hashtag ids])`` for every tweet."""
+    for publisher in range(corpus.num_publishers):
+        for tweet in corpus.tweets_of(publisher):
+            yield publisher, corpus.tags_of(tweet).tolist()
+
+
+def corpus_to_jsonl(corpus: TweetCorpus, stream: TextIO) -> int:
+    """Write the corpus as JSON lines; returns the tweet count."""
+    count = 0
+    for publisher, hashtag_ids in iter_corpus_tweets(corpus):
+        stream.write(
+            json.dumps(
+                {"publisher": publisher, "hashtags": [f"h{t}" for t in hashtag_ids]}
+            )
+        )
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def corpus_from_jsonl(lines: Iterable[str]) -> TweetCorpus:
+    """Parse a JSON-lines tweet archive into a :class:`TweetCorpus`.
+
+    Hashtag strings are interned into integer ids; publishers may appear
+    in any order and with any identifiers (they are renumbered densely,
+    preserving first-appearance order).  Tweets without hashtags are
+    skipped — they can never contribute to an interest.
+    """
+    tag_ids: dict[str, int] = {}
+    publisher_ids: dict[object, int] = {}
+    per_publisher: list[list[list[int]]] = []
+
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            publisher = record["publisher"]
+            hashtags = record["hashtags"]
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise WorkloadError(f"bad corpus record on line {lineno}: {exc}") from exc
+        if not isinstance(hashtags, list):
+            raise WorkloadError(f"line {lineno}: 'hashtags' must be a list")
+        if not hashtags:
+            continue
+        pid = publisher_ids.setdefault(publisher, len(publisher_ids))
+        if pid == len(per_publisher):
+            per_publisher.append([])
+        tweet = []
+        for tag in hashtags:
+            tweet.append(tag_ids.setdefault(str(tag), len(tag_ids)))
+        per_publisher[pid].append(tweet)
+
+    if not per_publisher:
+        raise WorkloadError("corpus contains no tweets with hashtags")
+
+    tweet_offsets = np.zeros(len(per_publisher) + 1, dtype=np.int64)
+    all_tweets: list[list[int]] = []
+    for pid, tweets in enumerate(per_publisher):
+        # A publisher that only posted hashtag-less tweets would have an
+        # empty tweet range, which interest generation cannot sample;
+        # give it a one-tag placeholder drawn from its id.
+        if not tweets:
+            tweets = [[0]]
+        all_tweets.extend(tweets)
+        tweet_offsets[pid + 1] = tweet_offsets[pid] + len(tweets)
+
+    tag_offsets = np.zeros(len(all_tweets) + 1, dtype=np.int64)
+    for i, tweet in enumerate(all_tweets):
+        tag_offsets[i + 1] = tag_offsets[i] + len(tweet)
+    flat = np.fromiter(
+        (t for tweet in all_tweets for t in tweet),
+        dtype=np.int64,
+        count=int(tag_offsets[-1]),
+    )
+    return TweetCorpus(
+        vocab_size=max(1, len(tag_ids)),
+        tweet_tags=flat,
+        tag_offsets=tag_offsets,
+        tweet_offsets=tweet_offsets,
+    )

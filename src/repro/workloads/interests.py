@@ -1,0 +1,91 @@
+"""User-interest generation (the §4.2.1 procedure, step by step).
+
+For each user: select the user's language(s); draw the number of
+followed publishers from the follower distribution; pick the publishers
+(popularity-weighted); generate *one interest per followed publisher* by
+selecting one of the publisher's tweets and taking its hashtags,
+"translated" into one of the user's languages; and, if the publisher is
+a frequent writer (top 30 % by published tweets), add the publisher id
+itself as a tag — an interest with a publisher tag selects only that
+publisher's messages, one without follows a topic across publishers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.languages import (
+    SECOND_LANGUAGES,
+    TWITTER_LANGUAGES,
+    assign_languages,
+    translate_tag,
+)
+from repro.workloads.social_graph import sample_followed_counts, sample_publishers
+from repro.workloads.tweets import TweetCorpus
+
+__all__ = ["InterestSet", "generate_interests"]
+
+
+@dataclass
+class InterestSet:
+    """All generated interests: one ``(tag tuple, user key)`` per row."""
+
+    tag_sets: list[tuple[str, ...]]
+    keys: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.tag_sets)
+
+    def mean_tags(self) -> float:
+        if not self.tag_sets:
+            return 0.0
+        return sum(len(t) for t in self.tag_sets) / len(self.tag_sets)
+
+
+def generate_interests(
+    corpus: TweetCorpus,
+    num_users: int,
+    rng: np.random.Generator,
+    frequent_writer_fraction: float = 0.3,
+) -> InterestSet:
+    """Run the §4.2.1 interest-generation procedure for every user."""
+    primary, secondary = assign_languages(num_users, rng)
+    followed = sample_followed_counts(num_users, rng)
+    total = int(followed.sum())
+
+    user_of_interest = np.repeat(np.arange(num_users, dtype=np.int64), followed)
+    publishers = sample_publishers(total, corpus.num_publishers, rng)
+
+    # One tweet per (user, publisher) pair, uniform over that publisher's
+    # tweets.
+    tweet_counts = corpus.tweet_counts()
+    first_tweet = corpus.tweet_offsets[publishers]
+    tweets = first_tweet + (
+        rng.random(total) * tweet_counts[publishers]
+    ).astype(np.int64)
+
+    # Each interest is written in one of the user's languages: bilingual
+    # users flip a coin per interest.
+    use_secondary = (secondary[user_of_interest] >= 0) & (rng.random(total) < 0.5)
+    frequent = corpus.frequent_writers(frequent_writer_fraction)
+
+    tag_sets: list[tuple[str, ...]] = []
+    primary_codes = [code for code, _ in TWITTER_LANGUAGES]
+    secondary_codes = [code for code, _ in SECOND_LANGUAGES]
+    for i in range(total):
+        user = user_of_interest[i]
+        lang = (
+            secondary_codes[secondary[user]]
+            if use_secondary[i]
+            else primary_codes[primary[user]]
+        )
+        hashtags = corpus.tags_of(int(tweets[i]))
+        tags = {translate_tag(f"h{tag_id}", lang) for tag_id in hashtags}
+        publisher = int(publishers[i])
+        if frequent[publisher]:
+            tags.add(f"u_{publisher}")
+        tag_sets.append(tuple(sorted(tags)))
+
+    return InterestSet(tag_sets=tag_sets, keys=user_of_interest)

@@ -1,0 +1,96 @@
+"""Language model of the Twitter workload (§4.2.1).
+
+The paper amplifies its tweet data set and removes the English bias by
+"translating" tags into artificial languages: the tag ``cat`` becomes
+``fr_cat`` in French.  40 % of users speak one language and 60 % speak
+two; the first language follows the language distribution observed on
+Twitter (Hong et al., ICWSM 2011), the second follows the distribution
+of the world's most common second languages (Ethnologue).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "TWITTER_LANGUAGES",
+    "SECOND_LANGUAGES",
+    "BILINGUAL_FRACTION",
+    "assign_languages",
+    "translate_tag",
+]
+
+#: (language code, share) — approximate Twitter language distribution
+#: from Hong, Convertino & Chi, "Language matters in Twitter" (2011).
+TWITTER_LANGUAGES: list[tuple[str, float]] = [
+    ("en", 0.513),
+    ("ja", 0.190),
+    ("pt", 0.096),
+    ("id", 0.056),
+    ("es", 0.047),
+    ("nl", 0.019),
+    ("ko", 0.016),
+    ("fr", 0.016),
+    ("de", 0.012),
+    ("ms", 0.012),
+    ("it", 0.008),
+    ("tr", 0.008),
+    ("ru", 0.007),
+]
+
+#: (language code, share) — most frequent second languages worldwide
+#: (Ethnologue), renormalised over the same code universe.
+SECOND_LANGUAGES: list[tuple[str, float]] = [
+    ("en", 0.55),
+    ("fr", 0.12),
+    ("es", 0.09),
+    ("ru", 0.07),
+    ("pt", 0.06),
+    ("de", 0.05),
+    ("ja", 0.03),
+    ("it", 0.03),
+]
+
+#: §4.2.1: "40% of the users speak only one language while the remaining
+#: 60% speak two languages".
+BILINGUAL_FRACTION = 0.6
+
+
+def _codes_and_probs(dist: list[tuple[str, float]]) -> tuple[list[str], np.ndarray]:
+    codes = [code for code, _ in dist]
+    probs = np.array([share for _, share in dist], dtype=float)
+    return codes, probs / probs.sum()
+
+
+def assign_languages(
+    num_users: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Assign a primary and (for 60 % of users) a secondary language.
+
+    Returns ``(primary, secondary)`` arrays of indices into
+    :data:`TWITTER_LANGUAGES` / :data:`SECOND_LANGUAGES`; monolingual
+    users have ``secondary == -1``.
+    """
+    if num_users < 0:
+        raise WorkloadError("num_users must be non-negative")
+    _, p1 = _codes_and_probs(TWITTER_LANGUAGES)
+    _, p2 = _codes_and_probs(SECOND_LANGUAGES)
+    primary = rng.choice(len(p1), size=num_users, p=p1)
+    secondary = rng.choice(len(p2), size=num_users, p=p2)
+    monolingual = rng.random(num_users) >= BILINGUAL_FRACTION
+    secondary[monolingual] = -1
+    return primary.astype(np.int64), secondary.astype(np.int64)
+
+
+def language_code(primary_index: int, secondary_index: int = -1) -> str:
+    """Code of one assigned language slot (primary or secondary table)."""
+    if secondary_index >= 0:
+        return SECOND_LANGUAGES[secondary_index][0]
+    return TWITTER_LANGUAGES[primary_index][0]
+
+
+def translate_tag(tag: str, language: str) -> str:
+    """'Translate' a tag by prefixing the language: ``cat`` → ``fr_cat``."""
+    return f"{language}_{tag}"

@@ -1,0 +1,85 @@
+"""Query (tweet) generation (§4.2.2).
+
+Uniformly random tweets would almost always be discarded by the
+pre-process stage, so — to measure *conservative* throughput — the paper
+builds each query from a tag set drawn from the database plus two to four
+extra random tags: the base set plays the generic topic, the extras the
+tweet's specificity, and every query is forced through the full subset
+match and merge stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bloom.hashing import TagHasher
+from repro.errors import WorkloadError
+from repro.workloads.languages import translate_tag
+
+__all__ = ["QuerySet", "generate_queries"]
+
+
+@dataclass
+class QuerySet:
+    """Generated queries: tag sets plus their block encodings."""
+
+    tag_sets: list[frozenset[str]]
+    blocks: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.tag_sets)
+
+
+def _language_of(tags: tuple[str, ...]) -> str:
+    """Recover the language prefix of an interest's hashtag tags."""
+    for tag in tags:
+        if "_h" in tag:
+            return tag.split("_", 1)[0]
+    return "en"
+
+
+#: Popularity skew of the extra hashtags, matching the tweet corpus
+#: sampler (:func:`repro.workloads.tweets.generate_tweet_corpus`): a
+#: tweet's additional hashtags follow the same power law as hashtags in
+#: general, so extras frequently hit popular tags — which is what makes
+#: large queries have large fan-out (Figure 3).
+EXTRA_TAG_GAMMA = 2.5
+
+
+def generate_queries(
+    interest_tag_sets: list[tuple[str, ...]],
+    hasher: TagHasher,
+    num_queries: int,
+    rng: np.random.Generator,
+    extra_tags: tuple[int, int] = (2, 4),
+    vocab_size: int = 100_000,
+) -> QuerySet:
+    """Build queries as database sets plus ``extra_tags`` random tags.
+
+    ``extra_tags=(k, k)`` fixes exactly ``k`` extras — Figure 2 sweeps
+    this from 1 to 10.  Extras are drawn from the hashtag popularity
+    distribution (not uniformly), as a tweet's hashtags would be.
+    """
+    if not interest_tag_sets:
+        raise WorkloadError("cannot generate queries from an empty database")
+    lo, hi = extra_tags
+    if not 0 <= lo <= hi:
+        raise WorkloadError("extra_tags must satisfy 0 <= lo <= hi")
+
+    bases = rng.integers(0, len(interest_tag_sets), size=num_queries)
+    extra_counts = rng.integers(lo, hi + 1, size=num_queries)
+    tag_sets: list[frozenset[str]] = []
+    for base_idx, extras in zip(bases, extra_counts):
+        base = interest_tag_sets[int(base_idx)]
+        lang = _language_of(base)
+        tags = set(base)
+        while len(tags) < len(base) + extras:
+            tag_id = int(vocab_size * rng.random() ** EXTRA_TAG_GAMMA)
+            tag_id = min(tag_id, vocab_size - 1)
+            tags.add(translate_tag(f"h{tag_id}", lang))
+        tag_sets.append(frozenset(tags))
+
+    blocks = hasher.encode_sets(tag_sets)
+    return QuerySet(tag_sets=tag_sets, blocks=blocks)

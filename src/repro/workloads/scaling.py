@@ -1,0 +1,62 @@
+"""Scaling policy: mapping the paper's sizes onto an offline laptop.
+
+The paper's full workload has 300 M users and 212 M unique sets and runs
+on a 24-core Xeon with two TITAN X cards.  Every experiment here runs the
+same *relative* parameter grids at ``SCALE`` times the paper's sizes
+(DESIGN.md §4); the default 1/1024 gives a full database of a few hundred
+thousand sets, large enough for every trend in the evaluation to be
+visible and small enough for the whole suite to run in minutes.
+
+Set the ``REPRO_SCALE`` environment variable (e.g. ``1/256`` or
+``0.01``) to rescale every benchmark at once.
+"""
+
+from __future__ import annotations
+
+import os
+from fractions import Fraction
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "PAPER_USERS",
+    "PAPER_UNIQUE_SETS",
+    "PAPER_MAX_P",
+    "PAPER_TWITTER_RATE_QPS",
+    "DEFAULT_SCALE",
+    "scale",
+    "scaled",
+]
+
+#: §4.2.1: roughly the count of monthly active Twitter users in 2016.
+PAPER_USERS = 300_000_000
+
+#: §4.2.1: unique interest sets in the full workload.
+PAPER_UNIQUE_SETS = 212_000_000
+
+#: §4.3.5 / Figure 7: the best-performing maximum partition size.
+PAPER_MAX_P = 200_000
+
+#: Footnote 2: Twitter's 2015 average traffic, in tweets per second.
+PAPER_TWITTER_RATE_QPS = 6_000
+
+DEFAULT_SCALE = 1.0 / 1024.0
+
+
+def scale() -> float:
+    """The active scale factor (``REPRO_SCALE`` env var or the default)."""
+    raw = os.environ.get("REPRO_SCALE")
+    if raw is None:
+        return DEFAULT_SCALE
+    try:
+        value = float(Fraction(raw))
+    except (ValueError, ZeroDivisionError) as exc:
+        raise WorkloadError(f"bad REPRO_SCALE value {raw!r}") from exc
+    if not 0 < value <= 1:
+        raise WorkloadError(f"REPRO_SCALE must be in (0, 1], got {value}")
+    return value
+
+
+def scaled(paper_value: int, minimum: int = 1) -> int:
+    """A paper-scale quantity mapped to the active scale."""
+    return max(minimum, int(round(paper_value * scale())))

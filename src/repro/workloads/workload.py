@@ -1,0 +1,119 @@
+"""Top-level Twitter-like workload assembly (§4.2).
+
+``generate_twitter_workload`` glues the pieces together: synthetic tweet
+corpus → language assignment → follower sampling → interest generation →
+Bloom encoding, and exposes the database-fraction views the paper's
+scalability experiments sweep over.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bloom.hashing import TagHasher
+from repro.errors import WorkloadError
+from repro.workloads.interests import InterestSet, generate_interests
+from repro.workloads.queries import QuerySet, generate_queries
+from repro.workloads.tweets import TweetCorpus, generate_tweet_corpus
+
+__all__ = ["TwitterWorkload", "generate_twitter_workload"]
+
+
+@dataclass
+class TwitterWorkload:
+    """A fully generated and encoded workload."""
+
+    interests: InterestSet
+    blocks: np.ndarray
+    keys: np.ndarray
+    hasher: TagHasher
+    corpus: TweetCorpus
+    num_users: int
+    generation_s: float
+    _num_unique: int | None = field(default=None, repr=False)
+
+    @property
+    def num_associations(self) -> int:
+        return self.blocks.shape[0]
+
+    @property
+    def num_unique_sets(self) -> int:
+        if self._num_unique is None:
+            self._num_unique = int(
+                np.unique(self.blocks, axis=0).shape[0]
+            )
+        return self._num_unique
+
+    def fraction(self, frac: float, rng: np.random.Generator | None = None):
+        """A ``(blocks, keys)`` view of the first ``frac`` of the database.
+
+        The paper's database-size sweeps (Figures 4, 8, 9; Tables 1, 3)
+        measure 10 %–100 % of the full workload.  Taking a prefix (after
+        the generator's inherent shuffling) keeps sub-workloads nested:
+        the 20 % database contains the 10 % one.
+        """
+        if not 0 < frac <= 1:
+            raise WorkloadError(f"fraction must be in (0, 1], got {frac}")
+        n = max(1, int(round(frac * self.num_associations)))
+        del rng  # kept for interface stability
+        return self.blocks[:n], self.keys[:n]
+
+    def queries(
+        self,
+        num_queries: int,
+        seed: int = 1,
+        extra_tags: tuple[int, int] = (2, 4),
+        fraction: float = 1.0,
+    ) -> QuerySet:
+        """Generate §4.2.2 queries whose base sets come from the given
+        database fraction (so every query can match)."""
+        n = max(1, int(round(fraction * self.num_associations)))
+        rng = np.random.default_rng(seed)
+        return generate_queries(
+            self.interests.tag_sets[:n],
+            self.hasher,
+            num_queries,
+            rng,
+            extra_tags=extra_tags,
+            vocab_size=self.corpus.vocab_size,
+        )
+
+
+def generate_twitter_workload(
+    num_users: int,
+    seed: int = 0,
+    hasher: TagHasher | None = None,
+    publishers_per_user: float = 0.1,
+) -> TwitterWorkload:
+    """Generate the full §4.2.1 workload for ``num_users`` users."""
+    if num_users <= 0:
+        raise WorkloadError("num_users must be positive")
+    start = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    hasher = hasher if hasher is not None else TagHasher()
+
+    num_publishers = max(10, int(num_users * publishers_per_user))
+    corpus = generate_tweet_corpus(num_publishers, rng)
+    interests = generate_interests(corpus, num_users, rng)
+    blocks = hasher.encode_sets(interests.tag_sets)
+
+    # Shuffle associations so database-fraction prefixes are unbiased.
+    order = rng.permutation(len(interests))
+    blocks = blocks[order]
+    keys = interests.keys[order]
+    interests = InterestSet(
+        tag_sets=[interests.tag_sets[i] for i in order], keys=keys
+    )
+
+    return TwitterWorkload(
+        interests=interests,
+        blocks=blocks,
+        keys=keys,
+        hasher=hasher,
+        corpus=corpus,
+        num_users=num_users,
+        generation_s=time.perf_counter() - start,
+    )

@@ -1,0 +1,138 @@
+"""Tests for the two classic solution families of §5 (inverted lists,
+query-subset enumeration)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.inverted_index import InvertedIndexMatcher
+from repro.baselines.linear_scan import LinearScanMatcher
+from repro.baselines.query_subset_hash import QuerySubsetHashMatcher
+from repro.bloom.array import SignatureArray
+from repro.bloom.filter import BloomSignature
+from repro.bloom.hashing import TagHasher
+from repro.errors import ValidationError
+
+WIDTH = 192
+bit_lists = st.lists(st.integers(0, 40), min_size=0, max_size=6)
+
+
+def blocks_of(rows):
+    return SignatureArray.from_signatures(
+        [BloomSignature.from_bits(r, width=WIDTH) for r in rows]
+    ).blocks
+
+
+class TestInvertedIndex:
+    def test_agrees_with_oracle_on_workload(self):
+        hasher = TagHasher()
+        rng = np.random.default_rng(3)
+        tags = [f"t{i}" for i in range(50)]
+        tag_sets = [
+            [tags[c] for c in rng.choice(50, size=rng.integers(1, 5), replace=False)]
+            for _ in range(300)
+        ]
+        blocks = hasher.encode_sets(tag_sets)
+        keys = np.arange(300)
+        oracle = LinearScanMatcher()
+        oracle.build(blocks, keys)
+        inv = InvertedIndexMatcher()
+        inv.build(blocks, keys)
+        for _ in range(25):
+            q = hasher.encode_sets(
+                [[tags[c] for c in rng.choice(50, size=9, replace=False)]]
+            )[0]
+            assert sorted(inv.match_blocks(q).tolist()) == sorted(
+                oracle.match_blocks(q).tolist()
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=st.lists(bit_lists, min_size=1, max_size=40),
+        q=st.lists(st.integers(0, 40), max_size=12),
+    )
+    def test_counting_equals_brute_force(self, rows, q):
+        blocks = blocks_of(rows)
+        keys = np.arange(len(rows))
+        inv = InvertedIndexMatcher()
+        inv.build(blocks, keys)
+        query = blocks_of([q])[0]
+        uniq = np.unique(blocks, axis=0)
+        expected = sorted(
+            np.nonzero(~np.any(uniq & ~query, axis=1))[0].tolist()
+        )
+        assert inv.match_set_ids(query).tolist() == expected
+
+    def test_index_bytes_reported(self):
+        inv = InvertedIndexMatcher()
+        report = inv.build(blocks_of([[1, 2], [3]]), np.arange(2))
+        assert report.index_bytes > 0
+
+
+class TestQuerySubsetHash:
+    def build_small(self):
+        matcher = QuerySubsetHashMatcher()
+        matcher.build(
+            [{"a", "b"}, {"a"}, {"c", "d", "e"}, {"a", "b"}],
+            [1, 2, 3, 4],
+        )
+        return matcher
+
+    def test_exact_subset_semantics(self):
+        m = self.build_small()
+        assert m.match({"a", "b", "x"}).tolist() == [1, 2, 4]
+
+    def test_unique(self):
+        m = QuerySubsetHashMatcher()
+        m.build([{"a"}, {"a", "b"}], [7, 7])
+        assert m.match({"a", "b"}, unique=True).tolist() == [7]
+        assert m.match({"a", "b"}).tolist() == [7, 7]
+
+    def test_no_match(self):
+        m = self.build_small()
+        assert m.match({"z"}).size == 0
+
+    def test_num_sets_counts_unique(self):
+        m = self.build_small()
+        assert m.num_sets == 3  # {a,b} indexed once with two keys
+
+    def test_non_vocabulary_tags_free(self):
+        """Tags that appear in no database set do not blow up the
+        enumeration."""
+        m = self.build_small()
+        q = {"a"} | {f"junk{i}" for i in range(100)}
+        assert m.match(q).tolist() == [2]
+
+    def test_enumeration_limit_enforced(self):
+        m = QuerySubsetHashMatcher(max_query_tags=5)
+        m.build([{f"t{i}"} for i in range(10)], list(range(10)))
+        with pytest.raises(ValidationError):
+            m.match({f"t{i}" for i in range(8)})
+
+    def test_probe_count_grows_exponentially(self):
+        """The §1 argument for why this family cannot scale."""
+        m = QuerySubsetHashMatcher()
+        m.build([{"a", "b", "c", "d", "e"}], [1])
+        small = m.probes_for({"a", "b", "c"})
+        large = m.probes_for({"a", "b", "c", "d", "e"})
+        assert large > 4 * small
+
+    def test_empty_set_rejected(self):
+        m = QuerySubsetHashMatcher()
+        with pytest.raises(ValidationError):
+            m.build([set()], [1])
+
+    def test_agrees_with_brute_force(self):
+        rng = np.random.default_rng(5)
+        tags = [f"t{i}" for i in range(12)]
+        db = [
+            (frozenset(tags[c] for c in rng.choice(12, size=rng.integers(1, 4), replace=False)), k)
+            for k in range(60)
+        ]
+        m = QuerySubsetHashMatcher()
+        m.build([t for t, _ in db], [k for _, k in db])
+        for _ in range(15):
+            q = {tags[c] for c in rng.choice(12, size=6, replace=False)}
+            expected = sorted(k for t, k in db if t <= q)
+            assert m.match(q).tolist() == expected

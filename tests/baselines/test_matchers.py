@@ -1,0 +1,112 @@
+"""Cross-system correctness: every baseline agrees with the oracle."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu_tagmatch import CpuTagMatchMatcher
+from repro.baselines.gpu_only import GpuBatchedMatcher, GpuPlainMatcher
+from repro.baselines.icn_matcher import ICNMatcher
+from repro.baselines.inverted_index import InvertedIndexMatcher
+from repro.baselines.linear_scan import LinearScanMatcher
+from repro.baselines.prefix_tree import PrefixTreeMatcher
+from repro.bloom.hashing import TagHasher
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def workload():
+    hasher = TagHasher()
+    rng = np.random.default_rng(77)
+    tags = [f"tag-{i}" for i in range(80)]
+    tag_sets = []
+    keys = []
+    for key in range(400):
+        size = int(rng.integers(1, 6))
+        chosen = rng.choice(80, size=size, replace=False)
+        tag_sets.append([tags[c] for c in chosen])
+        keys.append(key % 350)  # some keys repeat across sets
+    blocks = hasher.encode_sets(tag_sets)
+    queries = []
+    for _ in range(30):
+        base = tag_sets[int(rng.integers(0, 400))]
+        extra = [tags[c] for c in rng.choice(80, size=3, replace=False)]
+        queries.append(set(base) | set(extra))
+    query_blocks = hasher.encode_sets(queries)
+    return blocks, np.array(keys), query_blocks
+
+
+def matcher_factories():
+    return [
+        ("prefix_tree", lambda: PrefixTreeMatcher()),
+        ("icn", lambda: ICNMatcher()),
+        ("cpu_tagmatch", lambda: CpuTagMatchMatcher(max_partition_size=32)),
+        ("gpu_plain", lambda: GpuPlainMatcher()),
+        ("gpu_batched", lambda: GpuBatchedMatcher(batch_size=16)),
+        ("inverted_index", lambda: InvertedIndexMatcher()),
+    ]
+
+
+class TestAgreementWithOracle:
+    @pytest.mark.parametrize("name,factory", matcher_factories())
+    def test_match_agrees(self, workload, name, factory):
+        blocks, keys, queries = workload
+        oracle = LinearScanMatcher()
+        oracle.build(blocks, keys)
+        system = factory()
+        system.build(blocks, keys)
+        expected = oracle.match_many(queries)
+        got = system.match_many(queries)
+        for e, g in zip(expected, got):
+            assert sorted(e.tolist()) == sorted(g.tolist()), name
+        if hasattr(system, "close"):
+            system.close()
+
+    @pytest.mark.parametrize("name,factory", matcher_factories())
+    def test_match_unique_agrees(self, workload, name, factory):
+        blocks, keys, queries = workload
+        oracle = LinearScanMatcher()
+        oracle.build(blocks, keys)
+        system = factory()
+        system.build(blocks, keys)
+        expected = oracle.match_many(queries[:10], unique=True)
+        got = system.match_many(queries[:10], unique=True)
+        for e, g in zip(expected, got):
+            assert sorted(e.tolist()) == sorted(g.tolist()), name
+        if hasattr(system, "close"):
+            system.close()
+
+
+class TestInterfaceContracts:
+    def test_build_report_populated(self, workload):
+        blocks, keys, _ = workload
+        m = LinearScanMatcher()
+        report = m.build(blocks, keys)
+        assert report.elapsed_s >= 0
+        assert report.index_bytes > 0
+        assert report.num_unique_sets <= blocks.shape[0]
+
+    def test_match_before_build_raises(self):
+        with pytest.raises(ValidationError):
+            LinearScanMatcher().match_blocks(np.zeros(3, dtype=np.uint64))
+
+    def test_mismatched_build_arrays(self):
+        with pytest.raises(ValidationError):
+            LinearScanMatcher().build(np.zeros((2, 3), np.uint64), np.zeros(1))
+
+    def test_duplicate_signatures_merge_keys(self):
+        hasher = TagHasher()
+        blocks = hasher.encode_sets([["a"], ["a"], ["b"]])
+        m = LinearScanMatcher()
+        report = m.build(blocks, np.array([1, 2, 3]))
+        assert report.num_unique_sets == 2
+        got = m.match_blocks(np.array(hasher.encode_set(["a"]), dtype=np.uint64))
+        assert sorted(got.tolist()) == [1, 2]
+
+    def test_multiset_vs_unique(self):
+        hasher = TagHasher()
+        blocks = hasher.encode_sets([["a"], ["a", "b"]])
+        m = LinearScanMatcher()
+        m.build(blocks, np.array([7, 7]))
+        q = np.array(hasher.encode_set(["a", "b"]), dtype=np.uint64)
+        assert m.match_blocks(q).tolist() == [7, 7]
+        assert m.match_blocks(q, unique=True).tolist() == [7]

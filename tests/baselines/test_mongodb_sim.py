@@ -1,0 +1,119 @@
+"""Tests for the MongoDB-like document store."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mongodb_sim import MongoDBSim
+from repro.errors import ValidationError
+
+
+def sample_docs():
+    tag_sets = [
+        {"a", "b"},
+        {"a"},
+        {"c", "d"},
+        {"a", "b", "c"},
+        {"e"},
+    ]
+    keys = [10, 11, 12, 13, 14]
+    return tag_sets, keys
+
+
+class TestSingleServer:
+    def test_subset_query(self):
+        db = MongoDBSim.load(*sample_docs())
+        got = db.find_subsets({"a", "b", "x"})
+        assert got.tolist() == [10, 11]
+
+    def test_exact_set(self):
+        db = MongoDBSim.load(*sample_docs())
+        assert db.find_subsets({"e"}).tolist() == [14]
+
+    def test_no_match(self):
+        db = MongoDBSim.load(*sample_docs())
+        assert db.find_subsets({"zzz"}).size == 0
+
+    def test_unique_flag(self):
+        db = MongoDBSim.load([{"a"}, {"a", "b"}], [7, 7])
+        assert db.find_subsets({"a", "b"}).tolist() == [7, 7]
+        assert db.find_subsets({"a", "b"}, unique=True).tolist() == [7]
+
+    def test_query_before_index_raises(self):
+        db = MongoDBSim()
+        db.insert_many([{"a"}], [1])
+        with pytest.raises(ValidationError):
+            db.find_subsets({"a"})
+
+    def test_build_report(self):
+        db = MongoDBSim.load(*sample_docs())
+        rep = db.build_report
+        assert rep.num_documents == 5
+        assert rep.index_bytes > 0
+        assert rep.index_s >= 0
+
+    def test_inverted_index_contents(self):
+        db = MongoDBSim.load(*sample_docs())
+        shard = db.shards[0]
+        assert sorted(shard.tag_index["a"]) == [0, 1, 3]
+
+
+class TestSharded:
+    @pytest.mark.parametrize("shards", [2, 3, 8])
+    def test_results_independent_of_sharding(self, shards):
+        tag_sets, keys = sample_docs()
+        single = MongoDBSim.load(tag_sets, keys, num_shards=1)
+        sharded = MongoDBSim.load(tag_sets, keys, num_shards=shards)
+        for q in ({"a", "b", "x"}, {"c", "d"}, {"nope"}):
+            assert sorted(single.find_subsets(q).tolist()) == sorted(
+                sharded.find_subsets(q).tolist()
+            )
+        single.close()
+        sharded.close()
+
+    def test_documents_distributed(self):
+        db = MongoDBSim.load(*sample_docs(), num_shards=2)
+        sizes = [len(s.tag_sets) for s in db.shards]
+        assert sum(sizes) == 5
+        assert all(size > 0 for size in sizes)
+        db.close()
+
+    def test_more_shards_than_docs(self):
+        db = MongoDBSim.load([{"a"}], [1], num_shards=4)
+        assert db.find_subsets({"a"}).tolist() == [1]
+        db.close()
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValidationError):
+            MongoDBSim(num_shards=0)
+
+    def test_context_manager(self):
+        with MongoDBSim(num_shards=2) as db:
+            db.insert_many([{"a"}], [1])
+            db.ensure_index()
+            assert db.find_subsets({"a"}).tolist() == [1]
+
+
+class TestScaleBehaviour:
+    def test_scan_insensitive_to_query_tag_count(self):
+        """Figure 10: query size barely affects MongoDB's throughput."""
+        rng = np.random.default_rng(5)
+        tags = [f"t{i}" for i in range(100)]
+        tag_sets = [
+            {tags[c] for c in rng.choice(100, size=3, replace=False)}
+            for _ in range(2000)
+        ]
+        db = MongoDBSim.load(tag_sets, list(range(2000)))
+        import time
+
+        def time_queries(size):
+            qs = [
+                {tags[c] for c in rng.choice(100, size=size, replace=False)}
+                for _ in range(30)
+            ]
+            start = time.perf_counter()
+            for q in qs:
+                db.find_subsets(q)
+            return time.perf_counter() - start
+
+        t_small, t_large = time_queries(4), time_queries(12)
+        assert t_large < 10 * t_small  # same order of magnitude

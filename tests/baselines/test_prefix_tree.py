@@ -1,0 +1,176 @@
+"""Focused tests for the Patricia trie and the ICN variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.icn_matcher import BUILD_BYTES_PER_SET, ICNMatcher
+from repro.baselines.prefix_tree import (
+    PrefixTreeMatcher,
+    blocks_to_ints,
+    int_to_blocks,
+)
+from repro.bloom.array import SignatureArray
+from repro.bloom.filter import BloomSignature
+from repro.errors import CapacityError
+
+WIDTH = 192
+
+
+def blocks_from_bits(bit_lists):
+    return SignatureArray.from_signatures(
+        [BloomSignature.from_bits(b, width=WIDTH) for b in bit_lists]
+    ).blocks
+
+
+def brute_ids(blocks, q):
+    uniq = np.unique(blocks, axis=0)
+    return sorted(np.nonzero(~np.any(uniq & ~q, axis=1))[0].tolist())
+
+
+class TestIntConversion:
+    def test_roundtrip(self):
+        blocks = blocks_from_bits([[0, 5, 191], [64], []])
+        ints = blocks_to_ints(blocks)
+        for row, value in zip(blocks, ints):
+            np.testing.assert_array_equal(int_to_blocks(value, 3), row)
+
+    def test_bit0_is_msb(self):
+        blocks = blocks_from_bits([[0]])
+        assert blocks_to_ints(blocks)[0] == 1 << 191
+
+    def test_bit191_is_lsb(self):
+        blocks = blocks_from_bits([[191]])
+        assert blocks_to_ints(blocks)[0] == 1
+
+
+class TestPatriciaStructure:
+    def test_node_count_grows_sublinearly_with_shared_prefixes(self):
+        # Sets sharing a long prefix share trie nodes.
+        shared = [[0, 1, 2, 3, 100 + i] for i in range(50)]
+        tree = PrefixTreeMatcher()
+        tree.build(blocks_from_bits(shared), np.arange(50))
+        assert tree.num_nodes < 50 * 4
+
+    def test_pruning_visits_few_nodes_for_nonmatching_query(self):
+        rows = [[0, i] for i in range(1, 60)]
+        tree = PrefixTreeMatcher()
+        tree.build(blocks_from_bits(rows), np.arange(59))
+        # query without bit 0 prunes at the root's child
+        q = blocks_from_bits([[100, 101]])[0]
+        tree.match_set_ids(q)
+        assert tree.last_nodes_visited <= 3
+
+    def test_single_key(self):
+        tree = PrefixTreeMatcher()
+        tree.build(blocks_from_bits([[3, 5]]), np.array([9]))
+        q_match = blocks_from_bits([[3, 5, 9]])[0]
+        q_miss = blocks_from_bits([[3]])[0]
+        assert tree.match_blocks(q_match).tolist() == [9]
+        assert tree.match_blocks(q_miss).size == 0
+
+    def test_zero_signature_row_matches_everything(self):
+        # An all-zero signature is a subset of any query.
+        blocks = np.zeros((1, 3), dtype=np.uint64)
+        tree = PrefixTreeMatcher()
+        tree.build(blocks, np.array([4]))
+        assert tree.match_blocks(np.zeros(3, np.uint64)).tolist() == [4]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.lists(
+        st.lists(st.integers(0, 50), min_size=0, max_size=8),
+        min_size=1,
+        max_size=60,
+    ),
+    q_bits=st.lists(st.integers(0, 50), max_size=15),
+)
+def test_patricia_matches_brute_force(rows, q_bits):
+    blocks = blocks_from_bits(rows)
+    q = blocks_from_bits([q_bits])[0]
+    tree = PrefixTreeMatcher()
+    tree.build(blocks, np.arange(len(rows)))
+    assert tree.match_set_ids(q).tolist() == brute_ids(blocks, q)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.lists(
+        st.lists(st.integers(0, 50), min_size=0, max_size=8),
+        min_size=1,
+        max_size=60,
+    ),
+    q_bits=st.lists(st.integers(0, 50), max_size=15),
+)
+def test_icn_matches_brute_force(rows, q_bits):
+    blocks = blocks_from_bits(rows)
+    q = blocks_from_bits([q_bits])[0]
+    icn = ICNMatcher()
+    icn.build(blocks, np.arange(len(rows)))
+    assert icn.match_set_ids(q).tolist() == brute_ids(blocks, q)
+
+
+class TestICN:
+    def test_memory_budget_enforced(self):
+        blocks = blocks_from_bits([[i, i + 50] for i in range(100)])
+        budget = 50 * BUILD_BYTES_PER_SET  # enough for ~50 unique sets only
+        icn = ICNMatcher(memory_budget_bytes=budget)
+        with pytest.raises(CapacityError):
+            icn.build(blocks, np.arange(100))
+
+    def test_within_budget_builds(self):
+        blocks = blocks_from_bits([[i] for i in range(10)])
+        icn = ICNMatcher(memory_budget_bytes=100 * BUILD_BYTES_PER_SET)
+        icn.build(blocks, np.arange(10))
+        assert icn.peak_build_bytes == 10 * BUILD_BYTES_PER_SET
+
+    def test_compression_reduces_visited_nodes(self):
+        """Flattened subtrees replace long pointer chases: the compressed
+        trie visits no more nodes than the plain one for any query."""
+        rng = np.random.default_rng(4)
+        rows = [
+            sorted(rng.choice(60, size=rng.integers(1, 6), replace=False))
+            for _ in range(400)
+        ]
+        blocks = blocks_from_bits(rows)
+        plain = PrefixTreeMatcher()
+        plain.build(blocks, np.arange(len(rows)))
+        icn = ICNMatcher(leaf_size=32)
+        icn.build(blocks, np.arange(len(rows)))
+        assert icn.num_compressed_leaves > 0
+        for _ in range(10):
+            q = blocks_from_bits(
+                [sorted(rng.choice(60, size=12, replace=False))]
+            )[0]
+            plain.match_set_ids(q)
+            icn.match_set_ids(q)
+            assert icn.last_nodes_visited <= plain.last_nodes_visited
+
+    def test_compressed_leaves_cover_all_sets(self):
+        rows = [[i, i + 40] for i in range(50)]
+        blocks = blocks_from_bits(rows)
+        icn = ICNMatcher(leaf_size=8)
+        icn.build(blocks, np.arange(len(rows)))
+        assert icn.num_compressed_leaves > 0
+        # everything is still findable after compression
+        for bits in rows:
+            q = blocks_from_bits([bits + [100]])[0]
+            assert icn.match_set_ids(q).tolist() == brute_ids(blocks, q)
+
+    @pytest.mark.parametrize("leaf_size", [1, 4, 64])
+    def test_leaf_size_sweep_correct(self, leaf_size):
+        rng = np.random.default_rng(13)
+        rows = [
+            sorted(rng.choice(40, size=rng.integers(1, 5), replace=False))
+            for _ in range(150)
+        ]
+        blocks = blocks_from_bits(rows)
+        icn = ICNMatcher(leaf_size=leaf_size)
+        icn.build(blocks, np.arange(len(rows)))
+        for _ in range(15):
+            q = blocks_from_bits(
+                [sorted(rng.choice(40, size=10, replace=False))]
+            )[0]
+            assert icn.match_set_ids(q).tolist() == brute_ids(blocks, q)

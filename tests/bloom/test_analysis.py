@@ -1,0 +1,115 @@
+"""Tests for the false-positive analysis of footnote 3."""
+
+import math
+
+import pytest
+
+from repro.bloom.analysis import (
+    expected_fill_fraction,
+    membership_false_positive_probability,
+    optimal_num_hashes,
+    subset_false_positive_probability,
+)
+from repro.errors import ValidationError
+
+
+class TestFootnote3:
+    """The paper's two concrete numeric claims (both ≈ 1e-11)."""
+
+    def test_ten_tag_query_three_tag_diff(self):
+        p = subset_false_positive_probability(192, 7, query_set_size=10, difference_size=3)
+        assert 1e-12 < p < 1e-10
+
+    def test_five_tag_query_two_tag_diff(self):
+        p = subset_false_positive_probability(192, 7, query_set_size=5, difference_size=2)
+        assert 1e-12 < p < 1e-10
+
+    def test_formula_shape(self):
+        m, k, s2, diff = 192, 7, 10, 3
+        single = 1 - math.exp(-k * s2 / m)
+        assert subset_false_positive_probability(m, k, s2, diff) == pytest.approx(
+            single ** (k * diff)
+        )
+
+
+class TestMonotonicity:
+    def test_bigger_difference_is_less_likely(self):
+        p1 = subset_false_positive_probability(192, 7, 10, 1)
+        p3 = subset_false_positive_probability(192, 7, 10, 3)
+        assert p3 < p1
+
+    def test_bigger_query_is_more_likely(self):
+        small = subset_false_positive_probability(192, 7, 5, 2)
+        large = subset_false_positive_probability(192, 7, 30, 2)
+        assert large > small
+
+    def test_wider_filter_is_less_likely(self):
+        narrow = subset_false_positive_probability(64, 7, 10, 2)
+        wide = subset_false_positive_probability(192, 7, 10, 2)
+        assert wide < narrow
+
+
+class TestValidation:
+    def test_rejects_zero_difference(self):
+        with pytest.raises(ValidationError):
+            subset_false_positive_probability(192, 7, 10, 0)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValidationError):
+            subset_false_positive_probability(0, 7, 10, 1)
+
+    def test_fill_rejects_negative_set(self):
+        with pytest.raises(ValidationError):
+            expected_fill_fraction(192, 7, -1)
+
+
+class TestAuxiliary:
+    def test_fill_fraction_bounds(self):
+        assert expected_fill_fraction(192, 7, 0) == 0.0
+        assert 0 < expected_fill_fraction(192, 7, 5) < 1
+
+    def test_fill_fraction_increases_with_set_size(self):
+        assert expected_fill_fraction(192, 7, 10) > expected_fill_fraction(192, 7, 5)
+
+    def test_optimal_k_for_paper_average_set(self):
+        # The workload's interests average ~5 tags; m/n ln2 = 192/5*0.693 ≈ 27,
+        # but the paper chooses k=7 as a robust compromise for larger queries.
+        assert optimal_num_hashes(192, 19) == 7
+
+    def test_optimal_k_at_least_one(self):
+        assert optimal_num_hashes(8, 1000) == 1
+
+    def test_membership_fp_probability(self):
+        p = membership_false_positive_probability(192, 7, 5)
+        assert 0 < p < 1
+
+
+class TestRecommendParameters:
+    def test_paper_parameters_recovered(self):
+        from repro.bloom.analysis import recommend_parameters
+
+        width, k = recommend_parameters(10, 3, 1e-10)
+        assert width == 192
+        assert k == 7
+
+    def test_meets_target(self):
+        from repro.bloom.analysis import recommend_parameters
+
+        for args in ((10, 1, 1e-9), (30, 2, 1e-9), (5, 2, 1e-10)):
+            width, k = recommend_parameters(*args)
+            assert width % 64 == 0
+            p = subset_false_positive_probability(width, k, args[0], args[1])
+            assert p <= args[2]
+
+    def test_harder_targets_need_wider_filters(self):
+        from repro.bloom.analysis import recommend_parameters
+
+        easy, _ = recommend_parameters(10, 3, 1e-6)
+        hard, _ = recommend_parameters(10, 1, 1e-12)
+        assert hard > easy
+
+    def test_impossible_target_raises(self):
+        from repro.bloom.analysis import recommend_parameters
+
+        with pytest.raises(ValidationError):
+            recommend_parameters(200, 1, 1e-15, max_width=128)

@@ -1,0 +1,131 @@
+"""Unit tests for scalar Bloom signatures."""
+
+import pytest
+
+from repro.bloom.filter import BloomSignature
+from repro.bloom.hashing import TagHasher
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def hasher():
+    return TagHasher()
+
+
+class TestConstruction:
+    def test_from_bits_roundtrip(self):
+        sig = BloomSignature.from_bits([0, 63, 64, 191], width=192)
+        assert list(sig.bits()) == [0, 63, 64, 191]
+
+    def test_from_bits_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            BloomSignature.from_bits([192], width=192)
+
+    def test_zero_is_empty(self):
+        assert BloomSignature.zero(192).is_zero()
+
+    def test_rejects_bad_block_word(self):
+        with pytest.raises(ValidationError):
+            BloomSignature([2**64, 0, 0])
+
+    def test_width_inferred_from_blocks(self):
+        sig = BloomSignature([0, 0])
+        assert sig.width == 128
+
+    def test_from_tags(self, hasher):
+        sig = BloomSignature.from_tags(["cats", "dogs"], hasher)
+        assert sig.width == 192
+        assert not sig.is_zero()
+
+
+class TestSubset:
+    def test_tag_subset_implies_bit_subset(self, hasher):
+        small = BloomSignature.from_tags(["a", "b"], hasher)
+        big = BloomSignature.from_tags(["a", "b", "c", "d"], hasher)
+        assert small.issubset(big)
+
+    def test_zero_is_subset_of_everything(self, hasher):
+        zero = BloomSignature.zero(192)
+        other = BloomSignature.from_tags(["x"], hasher)
+        assert zero.issubset(other)
+        assert zero.issubset(zero)
+
+    def test_disjoint_not_subset(self):
+        a = BloomSignature.from_bits([1, 2], width=192)
+        b = BloomSignature.from_bits([3, 4], width=192)
+        assert not a.issubset(b)
+
+    def test_reflexive(self, hasher):
+        sig = BloomSignature.from_tags(["q"], hasher)
+        assert sig.issubset(sig)
+
+
+class TestBitOps:
+    def test_or_unions_bits(self):
+        a = BloomSignature.from_bits([5], width=192)
+        b = BloomSignature.from_bits([100], width=192)
+        assert list((a | b).bits()) == [5, 100]
+
+    def test_and_intersects_bits(self):
+        a = BloomSignature.from_bits([5, 10], width=192)
+        b = BloomSignature.from_bits([10, 20], width=192)
+        assert list((a & b).bits()) == [10]
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            BloomSignature.zero(192) | BloomSignature.zero(128)
+
+    def test_with_bit(self):
+        sig = BloomSignature.zero(192).with_bit(77)
+        assert sig.get_bit(77) == 1
+        assert sig.popcount() == 1
+
+    def test_get_bit(self):
+        sig = BloomSignature.from_bits([0, 191], width=192)
+        assert sig.get_bit(0) == 1
+        assert sig.get_bit(1) == 0
+        assert sig.get_bit(191) == 1
+
+
+class TestInspection:
+    def test_popcount(self):
+        assert BloomSignature.from_bits([1, 2, 3], width=192).popcount() == 3
+
+    def test_leftmost_one(self):
+        assert BloomSignature.from_bits([42, 100], width=192).leftmost_one() == 42
+
+    def test_leftmost_one_of_zero_is_width(self):
+        assert BloomSignature.zero(192).leftmost_one() == 192
+
+    def test_leftmost_one_across_blocks(self):
+        assert BloomSignature.from_bits([130], width=192).leftmost_one() == 130
+
+    def test_bits_sorted(self, hasher):
+        sig = BloomSignature.from_tags(["many", "tags", "here"], hasher)
+        positions = list(sig.bits())
+        assert positions == sorted(positions)
+
+    def test_bitstring_length(self):
+        assert len(BloomSignature.zero(192).to_bitstring()) == 192
+
+    def test_bitstring_marks_bits(self):
+        s = BloomSignature.from_bits([0, 191], width=192).to_bitstring()
+        assert s[0] == "1" and s[191] == "1" and s[1:191] == "0" * 190
+
+
+class TestOrderingAndEquality:
+    def test_lexicographic_order_matches_bitstring(self):
+        a = BloomSignature.from_bits([0], width=192)     # 100...
+        b = BloomSignature.from_bits([1], width=192)     # 010...
+        assert b < a
+        assert a.to_bitstring() > b.to_bitstring()
+
+    def test_equality_and_hash(self):
+        a = BloomSignature.from_bits([7], width=192)
+        b = BloomSignature.from_bits([7], width=192)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_not_equal_other_type(self):
+        assert BloomSignature.zero(192) != "zero"

@@ -1,0 +1,130 @@
+"""Unit tests for tag hashing and set encoding."""
+
+import numpy as np
+import pytest
+
+from repro.bloom.hashing import (
+    BLOCK_BITS,
+    DEFAULT_NUM_HASHES,
+    DEFAULT_WIDTH,
+    TagHasher,
+    fnv1a_64,
+)
+from repro.errors import ValidationError
+
+
+class TestFnv1a:
+    def test_known_vector_empty(self):
+        # FNV-1a offset basis for empty input.
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+
+    def test_known_vector_a(self):
+        # Standard published FNV-1a test vector.
+        assert fnv1a_64(b"a") == 0xAF63DC4C8601EC8C
+
+    def test_deterministic(self):
+        assert fnv1a_64(b"tagmatch") == fnv1a_64(b"tagmatch")
+
+    def test_seed_changes_hash(self):
+        assert fnv1a_64(b"tag", seed=0) != fnv1a_64(b"tag", seed=1)
+
+    def test_fits_in_64_bits(self):
+        for seed in range(5):
+            assert 0 <= fnv1a_64(b"some-long-tag-value", seed=seed) < 2**64
+
+
+class TestTagHasherConstruction:
+    def test_defaults_match_paper(self):
+        hasher = TagHasher()
+        assert hasher.width == DEFAULT_WIDTH == 192
+        assert hasher.num_hashes == DEFAULT_NUM_HASHES == 7
+        assert hasher.num_blocks == 3
+
+    def test_rejects_non_multiple_width(self):
+        with pytest.raises(ValidationError):
+            TagHasher(width=100)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValidationError):
+            TagHasher(width=0)
+
+    def test_rejects_zero_hashes(self):
+        with pytest.raises(ValidationError):
+            TagHasher(num_hashes=0)
+
+
+class TestBitPositions:
+    def test_count_and_range(self):
+        hasher = TagHasher()
+        positions = hasher.bit_positions("cats")
+        assert len(positions) == 7
+        assert all(0 <= p < 192 for p in positions)
+
+    def test_deterministic(self):
+        hasher = TagHasher()
+        assert hasher.bit_positions("x") == hasher.bit_positions("x")
+
+    def test_different_tags_differ(self):
+        hasher = TagHasher()
+        assert hasher.bit_positions("cats") != hasher.bit_positions("dogs")
+
+    def test_seed_changes_positions(self):
+        a = TagHasher(seed=0).bit_positions("cats")
+        b = TagHasher(seed=42).bit_positions("cats")
+        assert a != b
+
+
+class TestTagMask:
+    def test_mask_matches_positions(self):
+        hasher = TagHasher()
+        mask = hasher.tag_mask("hello")
+        set_bits = set()
+        for block_index, word in enumerate(mask):
+            for offset in range(BLOCK_BITS):
+                if (word >> (BLOCK_BITS - 1 - offset)) & 1:
+                    set_bits.add(block_index * BLOCK_BITS + offset)
+        assert set_bits == set(hasher.bit_positions("hello"))
+
+    def test_mask_cached(self):
+        hasher = TagHasher()
+        assert hasher.cache_size() == 0
+        hasher.tag_mask("a")
+        hasher.tag_mask("a")
+        hasher.tag_mask("b")
+        assert hasher.cache_size() == 2
+
+    def test_clear_cache(self):
+        hasher = TagHasher()
+        hasher.tag_mask("a")
+        hasher.clear_cache()
+        assert hasher.cache_size() == 0
+
+
+class TestEncodeSet:
+    def test_union_of_tag_masks(self):
+        hasher = TagHasher()
+        merged = hasher.encode_set(["a", "b"])
+        a = hasher.tag_mask("a")
+        b = hasher.tag_mask("b")
+        assert merged == tuple(x | y for x, y in zip(a, b))
+
+    def test_order_independent(self):
+        hasher = TagHasher()
+        assert hasher.encode_set(["x", "y", "z"]) == hasher.encode_set(["z", "x", "y"])
+
+    def test_rejects_empty_set(self):
+        with pytest.raises(ValidationError):
+            TagHasher().encode_set([])
+
+    def test_encode_sets_shape_and_dtype(self):
+        hasher = TagHasher()
+        arr = hasher.encode_sets([["a"], ["b", "c"], ["d"]])
+        assert arr.shape == (3, 3)
+        assert arr.dtype == np.uint64
+
+    def test_encode_sets_rows_match_encode_set(self):
+        hasher = TagHasher()
+        sets = [["a", "b"], ["c"]]
+        arr = hasher.encode_sets(sets)
+        for row, tags in zip(arr, sets):
+            assert tuple(int(w) for w in row) == hasher.encode_set(tags)

@@ -1,0 +1,50 @@
+"""Unit tests for the shared containment-matrix primitive."""
+
+import numpy as np
+import pytest
+
+from repro.bloom.ops import containment_matrix
+from repro.errors import ValidationError
+
+
+def rows(*values):
+    return np.array(values, dtype=np.uint64)
+
+
+class TestContainmentMatrix:
+    def test_basic(self):
+        subs = rows([0b0011, 0, 0], [0b0100, 0, 0])
+        supers = rows([0b0111, 0, 0], [0b0011, 0, 0])
+        matrix = containment_matrix(subs, supers)
+        assert matrix.tolist() == [[True, True], [True, False]]
+
+    def test_zero_row_contained_everywhere(self):
+        subs = rows([0, 0, 0])
+        supers = rows([1, 2, 3], [0, 0, 0])
+        assert containment_matrix(subs, supers).all()
+
+    def test_multi_word_mismatch_detected(self):
+        # mismatch only in the last word
+        subs = rows([1, 1, 1])
+        supers = rows([1, 1, 0])
+        assert not containment_matrix(subs, supers)[0, 0]
+
+    def test_empty_sides(self):
+        empty = np.empty((0, 3), dtype=np.uint64)
+        some = rows([1, 0, 0])
+        assert containment_matrix(empty, some).shape == (0, 1)
+        assert containment_matrix(some, empty).shape == (1, 0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            containment_matrix(np.zeros((2, 3), np.uint64), np.zeros((2, 2), np.uint64))
+        with pytest.raises(ValidationError):
+            containment_matrix(np.zeros(3, np.uint64), np.zeros((1, 3), np.uint64))
+
+    def test_high_bit_handling(self):
+        """Bit 63 of a word (sign bit of int64) must not confuse the check."""
+        top = np.uint64(1) << np.uint64(63)
+        subs = rows([top, 0, 0])
+        supers = rows([top, 0, 0], [top >> np.uint64(1), 0, 0])
+        matrix = containment_matrix(subs, supers)
+        assert matrix.tolist() == [[True, False]]

@@ -1,0 +1,124 @@
+"""Hypothesis property tests for the Bloom substrate.
+
+These pin down the invariants the rest of the system leans on:
+soundness of the subset direction, order agreement between scalar and
+packed forms, and algebraic laws of the bit-vector operations.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bloom.array import SignatureArray
+from repro.bloom.filter import BloomSignature
+from repro.bloom.hashing import TagHasher
+
+_HASHER = TagHasher()
+
+tags = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=12
+)
+tag_sets = st.sets(tags, min_size=1, max_size=10)
+bit_lists = st.lists(st.integers(min_value=0, max_value=191), max_size=30)
+
+
+@given(small=tag_sets, extra=tag_sets)
+def test_set_subset_implies_signature_subset(small, extra):
+    """S1 ⊆ S2 ⟹ B1 ⊆ B2 — the sound direction, with zero error."""
+    big = small | extra
+    b_small = BloomSignature.from_tags(small, _HASHER)
+    b_big = BloomSignature.from_tags(big, _HASHER)
+    assert b_small.issubset(b_big)
+
+
+@given(ts=tag_sets)
+def test_encoding_is_union_of_tag_masks(ts):
+    sig = BloomSignature.from_tags(ts, _HASHER)
+    union = BloomSignature.zero(192)
+    for tag in ts:
+        union = union | BloomSignature(_HASHER.tag_mask(tag), width=192)
+    assert sig == union
+
+
+@given(bits=bit_lists)
+def test_from_bits_roundtrip(bits):
+    sig = BloomSignature.from_bits(bits, width=192)
+    assert set(sig.bits()) == set(bits)
+    assert sig.popcount() == len(set(bits))
+
+
+@given(a=bit_lists, b=bit_lists)
+def test_subset_iff_or_is_identity(a, b):
+    """A ⊆ B (bitwise) iff A | B == B."""
+    sa = BloomSignature.from_bits(a, width=192)
+    sb = BloomSignature.from_bits(b, width=192)
+    assert sa.issubset(sb) == ((sa | sb) == sb)
+
+
+@given(a=bit_lists, b=bit_lists, c=bit_lists)
+def test_subset_is_transitive(a, b, c):
+    sa = BloomSignature.from_bits(a, width=192)
+    sab = sa | BloomSignature.from_bits(b, width=192)
+    sabc = sab | BloomSignature.from_bits(c, width=192)
+    assert sa.issubset(sab) and sab.issubset(sabc) and sa.issubset(sabc)
+
+
+@given(rows=st.lists(bit_lists, min_size=1, max_size=20), q=bit_lists)
+def test_array_subset_agrees_with_scalar(rows, q):
+    sigs = [BloomSignature.from_bits(r, width=192) for r in rows]
+    arr = SignatureArray.from_signatures(sigs)
+    query = BloomSignature.from_bits(q, width=192)
+    qv = np.array(query.blocks, dtype=np.uint64)
+    expected = [s.issubset(query) for s in sigs]
+    assert arr.subset_of(qv).tolist() == expected
+
+
+@given(rows=st.lists(bit_lists, min_size=1, max_size=15))
+def test_array_lex_sort_agrees_with_scalar_sort(rows):
+    sigs = [BloomSignature.from_bits(r, width=192) for r in rows]
+    arr = SignatureArray.from_signatures(sigs)
+    order = arr.lex_sort_order()
+    assert [arr.row(i) for i in order] == sorted(sigs)
+
+
+@given(rows=st.lists(bit_lists, min_size=1, max_size=15))
+def test_array_leftmost_and_popcount_agree_with_scalar(rows):
+    sigs = [BloomSignature.from_bits(r, width=192) for r in rows]
+    arr = SignatureArray.from_signatures(sigs)
+    assert arr.leftmost_one_positions().tolist() == [s.leftmost_one() for s in sigs]
+    assert arr.popcounts().tolist() == [s.popcount() for s in sigs]
+
+
+@given(rows=st.lists(bit_lists, min_size=1, max_size=15))
+def test_bit_frequencies_sum_to_total_popcount(rows):
+    sigs = [BloomSignature.from_bits(r, width=192) for r in rows]
+    arr = SignatureArray.from_signatures(sigs)
+    assert arr.bit_frequencies().sum() == sum(s.popcount() for s in sigs)
+
+
+@given(rows=st.lists(bit_lists, min_size=1, max_size=15))
+def test_unique_inverse_reconstructs(rows):
+    sigs = [BloomSignature.from_bits(r, width=192) for r in rows]
+    arr = SignatureArray.from_signatures(sigs)
+    uniq, inverse = arr.unique()
+    np.testing.assert_array_equal(uniq.blocks[inverse], arr.blocks)
+    # unique rows really are unique
+    as_tuples = {tuple(int(w) for w in row) for row in uniq.blocks}
+    assert len(as_tuples) == len(uniq)
+
+
+@settings(max_examples=25)
+@given(
+    rows=st.lists(bit_lists, min_size=1, max_size=10),
+    queries=st.lists(bit_lists, min_size=1, max_size=5),
+)
+def test_subset_of_each_is_columnwise_subset_of(rows, queries):
+    arr = SignatureArray.from_signatures(
+        [BloomSignature.from_bits(r, width=192) for r in rows]
+    )
+    qarr = SignatureArray.from_signatures(
+        [BloomSignature.from_bits(q, width=192) for q in queries]
+    )
+    matrix = arr.subset_of_each(qarr)
+    for j in range(len(qarr)):
+        np.testing.assert_array_equal(matrix[:, j], arr.subset_of(qarr.blocks[j]))

@@ -1,0 +1,100 @@
+"""Tests for the compact key table."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.key_table import KeyTable
+from repro.errors import ValidationError
+
+
+def table_from_pairs(pairs, num_sets):
+    group_ids = np.array([p[0] for p in pairs], dtype=np.int64)
+    keys = np.array([p[1] for p in pairs], dtype=np.int64)
+    return KeyTable.from_grouped(group_ids, keys, num_sets)
+
+
+class TestConstruction:
+    def test_from_grouped_basic(self):
+        kt = table_from_pairs([(0, 10), (1, 20), (0, 11)], num_sets=2)
+        assert sorted(kt.keys_of(0).tolist()) == [10, 11]
+        assert kt.keys_of(1).tolist() == [20]
+
+    def test_empty_groups_allowed(self):
+        kt = table_from_pairs([(2, 5)], num_sets=4)
+        assert kt.keys_of(0).size == 0
+        assert kt.keys_of(2).tolist() == [5]
+        assert len(kt) == 4
+
+    def test_duplicate_associations_preserved(self):
+        """match returns a multiset: the same key twice stays twice."""
+        kt = table_from_pairs([(0, 7), (0, 7)], num_sets=1)
+        assert kt.keys_of(0).tolist() == [7, 7]
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValidationError):
+            KeyTable.from_grouped(np.zeros(2, np.int64), np.zeros(3, np.int64), 5)
+
+    def test_out_of_range_group_rejected(self):
+        with pytest.raises(ValidationError):
+            table_from_pairs([(5, 1)], num_sets=2)
+
+    def test_bad_offsets_rejected(self):
+        with pytest.raises(ValidationError):
+            KeyTable(np.array([1, 2]), np.array([7, 8]))
+        with pytest.raises(ValidationError):
+            KeyTable(np.array([0, 2, 1]), np.array([7, 8]))
+
+
+class TestLookups:
+    def test_keys_of_many_concatenates(self):
+        kt = table_from_pairs([(0, 1), (1, 2), (1, 3), (2, 4)], num_sets=3)
+        got = kt.keys_of_many(np.array([0, 2]))
+        assert sorted(got.tolist()) == [1, 4]
+
+    def test_keys_of_many_multiset_semantics(self):
+        kt = table_from_pairs([(0, 1)], num_sets=1)
+        got = kt.keys_of_many(np.array([0, 0, 0]))
+        assert got.tolist() == [1, 1, 1]
+
+    def test_keys_of_many_empty(self):
+        kt = table_from_pairs([(0, 1)], num_sets=1)
+        assert kt.keys_of_many(np.array([], dtype=np.int64)).size == 0
+
+    def test_keys_of_many_all_empty_groups(self):
+        kt = table_from_pairs([(0, 1)], num_sets=3)
+        assert kt.keys_of_many(np.array([1, 2])).size == 0
+
+    def test_keys_of_range_checked(self):
+        kt = table_from_pairs([(0, 1)], num_sets=1)
+        with pytest.raises(ValidationError):
+            kt.keys_of(1)
+        with pytest.raises(ValidationError):
+            kt.keys_of_many(np.array([3]))
+
+    def test_counts_of_many(self):
+        kt = table_from_pairs([(0, 1), (0, 2), (2, 3)], num_sets=3)
+        np.testing.assert_array_equal(
+            kt.counts_of_many(np.array([0, 1, 2])), [2, 0, 1]
+        )
+
+    def test_nbytes_positive(self):
+        kt = table_from_pairs([(0, 1)], num_sets=1)
+        assert kt.nbytes > 0
+        assert kt.num_keys == 1
+
+
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 9), st.integers(-1000, 1000)), max_size=60
+    )
+)
+def test_grouping_property(pairs):
+    kt = table_from_pairs(pairs, num_sets=10)
+    for sid in range(10):
+        expected = sorted(k for g, k in pairs if g == sid)
+        assert sorted(kt.keys_of(sid).tolist()) == expected
+    # keys_of_many over everything returns every association once.
+    everything = kt.keys_of_many(np.arange(10))
+    assert sorted(everything.tolist()) == sorted(k for _, k in pairs)

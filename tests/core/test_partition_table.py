@@ -1,0 +1,145 @@
+"""Tests for the partition table and Algorithm 2 pre-processing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bloom.array import SignatureArray
+from repro.bloom.filter import BloomSignature
+from repro.core.partition_table import PartitionTable, _one_bit_positions
+from repro.core.partitioning import Partition, balanced_partition
+from repro.errors import ValidationError
+
+WIDTH = 192
+
+
+def make_partition(bits):
+    mask = np.array(
+        BloomSignature.from_bits(bits, width=WIDTH).blocks, dtype=np.uint64
+    )
+    return Partition(mask=mask, indices=np.array([0]))
+
+
+def query(bits):
+    return np.array(
+        BloomSignature.from_bits(bits, width=WIDTH).blocks, dtype=np.uint64
+    )
+
+
+class TestOneBitPositions:
+    def test_positions_found(self):
+        np.testing.assert_array_equal(
+            _one_bit_positions(query([0, 63, 64, 191])), [0, 63, 64, 191]
+        )
+
+    def test_empty(self):
+        assert _one_bit_positions(query([])).size == 0
+
+
+class TestRelevantPartitions:
+    def test_subset_masks_found(self):
+        table = PartitionTable(
+            [make_partition([1]), make_partition([2]), make_partition([1, 2])],
+            WIDTH,
+        )
+        got = set(table.relevant_partitions(query([1, 2, 3])).tolist())
+        assert got == {0, 1, 2}
+
+    def test_non_subset_masks_excluded(self):
+        table = PartitionTable(
+            [make_partition([1, 5]), make_partition([9])], WIDTH
+        )
+        got = set(table.relevant_partitions(query([1, 2])).tolist())
+        assert got == set()
+
+    def test_masks_sharing_leftmost_bit(self):
+        """Several masks in the same PT slot are all checked."""
+        table = PartitionTable(
+            [make_partition([4, 10]), make_partition([4, 20]), make_partition([4])],
+            WIDTH,
+        )
+        got = set(table.relevant_partitions(query([4, 10, 99])).tolist())
+        assert got == {0, 2}
+
+    def test_empty_mask_always_relevant(self):
+        table = PartitionTable([make_partition([]), make_partition([7])], WIDTH)
+        got = set(table.relevant_partitions(query([150])).tolist())
+        assert got == {0}
+        assert table.always_relevant.tolist() == [0]
+
+    def test_no_partitions(self):
+        table = PartitionTable([], WIDTH)
+        assert table.relevant_partitions(query([1, 2])).size == 0
+
+    def test_query_block_count_validated(self):
+        table = PartitionTable([make_partition([1])], WIDTH)
+        with pytest.raises(ValidationError):
+            table.relevant_partitions(np.zeros(2, dtype=np.uint64))
+
+    def test_width_validated(self):
+        with pytest.raises(ValidationError):
+            PartitionTable([], 100)
+
+    def test_boundary_bits(self):
+        """Masks at the extreme bit positions (0 and width-1) index fine."""
+        table = PartitionTable(
+            [make_partition([0]), make_partition([191])], WIDTH
+        )
+        assert set(table.relevant_partitions(query([0, 191])).tolist()) == {0, 1}
+        assert set(table.relevant_partitions(query([191])).tolist()) == {1}
+
+
+class TestStructure:
+    def test_slot_sizes_sum_to_num_masks(self):
+        parts = [make_partition([i]) for i in range(10)]
+        table = PartitionTable(parts, WIDTH)
+        assert table.slot_sizes().sum() == 10
+
+    def test_nbytes_positive(self):
+        table = PartitionTable([make_partition([3])], WIDTH)
+        assert table.nbytes > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    mask_bits=st.lists(
+        st.lists(st.integers(0, 63), min_size=0, max_size=6), min_size=1, max_size=20
+    ),
+    query_bits=st.lists(st.integers(0, 63), max_size=20),
+)
+def test_agrees_with_linear_scan(mask_bits, query_bits):
+    """Algorithm 2 finds exactly the masks contained in the query."""
+    partitions = [make_partition(bits) for bits in mask_bits]
+    table = PartitionTable(partitions, WIDTH)
+    q = query(query_bits)
+    got = sorted(table.relevant_partitions(q).tolist())
+    expected = [
+        i for i, p in enumerate(partitions) if not np.any(p.mask & ~q)
+    ]
+    assert got == expected
+
+
+def test_integration_with_algorithm1():
+    """Every query reaches exactly the partitions that could hold subsets."""
+    rng = np.random.default_rng(9)
+    sigs = [
+        BloomSignature.from_bits(
+            sorted(rng.choice(40, size=rng.integers(1, 6), replace=False)), width=WIDTH
+        )
+        for _ in range(300)
+    ]
+    blocks = SignatureArray.from_signatures(sigs).blocks
+    result = balanced_partition(blocks, max_partition_size=30, width=WIDTH)
+    table = PartitionTable(result.partitions, WIDTH)
+    for _ in range(20):
+        q_sig = BloomSignature.from_bits(
+            sorted(rng.choice(40, size=12, replace=False)), width=WIDTH
+        )
+        q = np.array(q_sig.blocks, dtype=np.uint64)
+        relevant = set(table.relevant_partitions(q).tolist())
+        for pid, partition in enumerate(result.partitions):
+            rows = blocks[partition.indices]
+            has_match = bool(np.any(~np.any(rows & ~q, axis=1)))
+            if has_match:
+                assert pid in relevant, "pre-process must never drop a match"

@@ -1,0 +1,153 @@
+"""Tests for the four-stage matching pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TagMatchConfig
+from repro.core.engine import TagMatch
+
+
+def build_engine(**overrides):
+    defaults = dict(
+        max_partition_size=16,
+        batch_size=8,
+        batch_timeout_s=0.01,
+        num_threads=4,
+        num_gpus=2,
+    )
+    defaults.update(overrides)
+    eng = TagMatch(TagMatchConfig(**defaults))
+    rng = np.random.default_rng(123)
+    tags = [f"tag-{i}" for i in range(60)]
+    for key in range(300):
+        size = int(rng.integers(1, 6))
+        chosen = rng.choice(60, size=size, replace=False)
+        eng.add_set({tags[c] for c in chosen}, key=key)
+    eng.consolidate()
+    return eng, tags, rng
+
+
+@pytest.fixture(scope="module")
+def built():
+    eng, tags, rng = build_engine()
+    yield eng, tags, rng
+    eng.close()
+
+
+def make_queries(tags, rng, n=64, size=10):
+    out = []
+    for _ in range(n):
+        chosen = rng.choice(len(tags), size=size, replace=False)
+        out.append({tags[c] for c in chosen})
+    return out
+
+
+class TestCorrectness:
+    def test_stream_agrees_with_sync_match(self, built):
+        eng, tags, rng = built
+        tag_sets = make_queries(tags, rng)
+        qs = eng.encode_queries(tag_sets)
+        run = eng.match_stream(qs)
+        assert run.num_queries == len(tag_sets)
+        for row, result in zip(tag_sets, run.results):
+            expected = sorted(eng.match(row).tolist())
+            assert sorted(result.tolist()) == expected
+
+    def test_stream_unique_agrees(self, built):
+        eng, tags, rng = built
+        tag_sets = make_queries(tags, rng, n=32)
+        qs = eng.encode_queries(tag_sets)
+        run = eng.match_stream(qs, unique=True)
+        for row, result in zip(tag_sets, run.results):
+            expected = eng.match_unique(row).tolist()
+            assert result.tolist() == expected
+
+    def test_no_timeout_still_terminates(self, built):
+        eng, tags, rng = built
+        qs = eng.encode_queries(make_queries(tags, rng, n=20))
+        run = eng.match_stream(qs, batch_timeout_s=None)
+        assert run.num_queries == 20
+
+    def test_single_query_stream(self, built):
+        eng, tags, rng = built
+        qs = eng.encode_queries(make_queries(tags, rng, n=1))
+        run = eng.match_stream(qs)
+        assert run.num_queries == 1
+
+    def test_non_matching_queries_complete(self, built):
+        eng, _, _ = built
+        qs = eng.encode_queries([{"unknown-1"}, {"unknown-2"}])
+        run = eng.match_stream(qs)
+        assert all(r.size == 0 for r in run.results)
+
+    @pytest.mark.parametrize("threads", [1, 2, 8])
+    def test_thread_counts(self, built, threads):
+        eng, tags, rng = built
+        tag_sets = make_queries(tags, rng, n=24)
+        qs = eng.encode_queries(tag_sets)
+        run = eng.match_stream(qs, num_threads=threads)
+        for row, result in zip(tag_sets, run.results):
+            assert sorted(result.tolist()) == sorted(eng.match(row).tolist())
+
+
+class TestStatsAndLatency:
+    def test_throughput_and_latency_reported(self, built):
+        eng, tags, rng = built
+        qs = eng.encode_queries(make_queries(tags, rng, n=40))
+        run = eng.match_stream(qs)
+        assert run.throughput_qps > 0
+        assert run.latencies_s.shape == (40,)
+        assert (run.latencies_s >= 0).all()
+        assert run.elapsed_s > 0
+
+    def test_output_keys_counts_all_results(self, built):
+        eng, tags, rng = built
+        qs = eng.encode_queries(make_queries(tags, rng, n=16))
+        run = eng.match_stream(qs)
+        assert run.output_keys == sum(r.size for r in run.results)
+
+    def test_batch_accounting(self, built):
+        eng, tags, rng = built
+        qs = eng.encode_queries(make_queries(tags, rng, n=40))
+        run = eng.match_stream(qs)
+        stats = run.stats
+        assert stats.batches == (
+            stats.full_flushes + stats.timeout_flushes + stats.shutdown_flushes
+        )
+        assert stats.kernel_invocations == stats.batches
+
+    def test_arrival_rate_paces_feed(self, built):
+        eng, tags, rng = built
+        qs = eng.encode_queries(make_queries(tags, rng, n=64))
+        run = eng.match_stream(qs, arrival_rate_qps=2000.0)
+        # 64 queries at 2000 qps should take at least ~30 ms.
+        assert run.elapsed_s >= 0.025
+
+    def test_timeout_flushes_happen_under_slow_arrival(self, built):
+        eng, tags, rng = built
+        qs = eng.encode_queries(make_queries(tags, rng, n=12))
+        run = eng.match_stream(qs, batch_timeout_s=0.005, arrival_rate_qps=400.0)
+        assert run.stats.timeout_flushes > 0
+
+
+class TestScaleAndStress:
+    def test_larger_stream(self):
+        eng, tags, rng = build_engine(batch_size=32)
+        try:
+            tag_sets = make_queries(tags, rng, n=300, size=8)
+            qs = eng.encode_queries(tag_sets)
+            run = eng.match_stream(qs)
+            sample = rng.choice(300, size=20, replace=False)
+            for qi in sample:
+                expected = sorted(eng.match(tag_sets[qi]).tolist())
+                assert sorted(run.results[qi].tolist()) == expected
+        finally:
+            eng.close()
+
+    def test_back_to_back_runs_reuse_engine(self, built):
+        eng, tags, rng = built
+        qs = eng.encode_queries(make_queries(tags, rng, n=16))
+        r1 = eng.match_stream(qs)
+        r2 = eng.match_stream(qs)
+        for a, b in zip(r1.results, r2.results):
+            assert sorted(a.tolist()) == sorted(b.tolist())

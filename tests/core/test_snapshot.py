@@ -1,0 +1,130 @@
+"""Tests for index persistence (save/load snapshots)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TagMatchConfig
+from repro.core.engine import TagMatch
+from repro.errors import ValidationError
+from repro.workloads import generate_twitter_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_twitter_workload(num_users=1500, seed=23)
+
+
+@pytest.fixture()
+def built(workload):
+    cfg = TagMatchConfig(max_partition_size=64, batch_timeout_s=None)
+    eng = TagMatch(cfg)
+    eng.add_signatures(workload.blocks, workload.keys)
+    eng.consolidate()
+    yield eng
+    eng.close()
+
+
+class TestRoundtrip:
+    def test_identical_results_after_load(self, built, workload, tmp_path):
+        path = str(tmp_path / "index.npz")
+        built.save(path)
+        loaded = TagMatch.load(path)
+        try:
+            queries = workload.queries(40, seed=1)
+            for tags in queries.tag_sets:
+                assert sorted(loaded.match(tags).tolist()) == sorted(
+                    built.match(tags).tolist()
+                )
+                assert loaded.match_unique(tags).tolist() == built.match_unique(
+                    tags
+                ).tolist()
+        finally:
+            loaded.close()
+
+    def test_partition_layout_preserved(self, built, tmp_path):
+        path = str(tmp_path / "index.npz")
+        built.save(path)
+        loaded = TagMatch.load(path)
+        try:
+            assert loaded.num_partitions == built.num_partitions
+            assert loaded.num_unique_sets == built.num_unique_sets
+            # No re-partitioning happened on load.
+            assert loaded.last_consolidate.partitioning.elapsed_s == 0.0
+        finally:
+            loaded.close()
+
+    def test_pipeline_works_after_load(self, built, workload, tmp_path):
+        path = str(tmp_path / "index.npz")
+        built.save(path)
+        loaded = TagMatch.load(path)
+        try:
+            queries = workload.queries(64, seed=2)
+            run = loaded.match_stream(queries.blocks, unique=True)
+            for tags, result in zip(queries.tag_sets, run.results):
+                assert result.tolist() == built.match_unique(tags).tolist()
+        finally:
+            loaded.close()
+
+    def test_load_continues_to_evolve(self, built, tmp_path):
+        """A loaded engine accepts further add/remove + consolidate."""
+        path = str(tmp_path / "index.npz")
+        built.save(path)
+        loaded = TagMatch.load(path)
+        try:
+            loaded.add_set({"fresh", "snapshot"}, key=10**6)
+            loaded.consolidate()
+            assert loaded.match({"fresh", "snapshot", "x"}).tolist() == [10**6]
+        finally:
+            loaded.close()
+
+
+class TestConfigOverride:
+    def test_different_gpu_topology(self, built, tmp_path):
+        path = str(tmp_path / "index.npz")
+        built.save(path)
+        override = TagMatchConfig(
+            max_partition_size=64, num_gpus=3, batch_timeout_s=None
+        )
+        loaded = TagMatch.load(path, config=override)
+        try:
+            assert len(loaded.devices) == 3
+        finally:
+            loaded.close()
+
+    def test_mismatched_bloom_geometry_rejected(self, built, tmp_path):
+        path = str(tmp_path / "index.npz")
+        built.save(path)
+        with pytest.raises(ValidationError):
+            TagMatch.load(path, config=TagMatchConfig(width=128, num_hashes=3))
+
+
+class TestGuards:
+    def test_unconsolidated_engine_rejected(self, tmp_path):
+        with TagMatch() as eng:
+            eng.add_set({"a"}, 1)
+            with pytest.raises(ValidationError):
+                eng.save(str(tmp_path / "x.npz"))
+
+    def test_dirty_stage_rejected(self, built, tmp_path):
+        built.add_set({"pending"}, 1)
+        with pytest.raises(ValidationError):
+            built.save(str(tmp_path / "x.npz"))
+
+    def test_exact_check_engine_rejected(self, tmp_path):
+        cfg = TagMatchConfig(exact_check=True, batch_timeout_s=None)
+        with TagMatch(cfg) as eng:
+            eng.add_set({"a"}, 1)
+            eng.consolidate()
+            with pytest.raises(ValidationError):
+                eng.save(str(tmp_path / "x.npz"))
+
+    def test_empty_database_roundtrip(self, tmp_path):
+        with TagMatch(TagMatchConfig(batch_timeout_s=None)) as eng:
+            eng.consolidate()
+            path = str(tmp_path / "empty.npz")
+            eng.save(path)
+            loaded = TagMatch.load(path)
+            try:
+                assert loaded.match({"anything"}).size == 0
+            finally:
+                loaded.close()

@@ -1,0 +1,170 @@
+"""Tests for the staged add/remove area (§2 consolidation semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.bloom.hashing import TagHasher
+from repro.core.staging import ConsolidatedDatabase, StagingArea
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def hasher():
+    return TagHasher()
+
+
+class TestStaging:
+    def test_adds_become_rows(self, hasher):
+        stage = StagingArea(hasher)
+        stage.stage_add({"a"}, 1)
+        stage.stage_add({"b"}, 2)
+        db = stage.apply(None)
+        assert len(db) == 2
+        assert sorted(db.keys.tolist()) == [1, 2]
+
+    def test_stage_is_cleared_after_apply(self, hasher):
+        stage = StagingArea(hasher)
+        stage.stage_add({"a"}, 1)
+        db1 = stage.apply(None)
+        db2 = stage.apply(db1)
+        assert len(db2) == 1  # not doubled
+
+    def test_dirty_flag(self, hasher):
+        stage = StagingArea(hasher)
+        assert not stage.dirty
+        stage.stage_add({"a"}, 1)
+        assert stage.dirty
+        stage.apply(None)
+        assert not stage.dirty
+
+    def test_incremental_apply_extends(self, hasher):
+        stage = StagingArea(hasher)
+        stage.stage_add({"a"}, 1)
+        db1 = stage.apply(None)
+        stage.stage_add({"b"}, 2)
+        db2 = stage.apply(db1)
+        assert len(db2) == 2
+
+    def test_counts(self, hasher):
+        stage = StagingArea(hasher)
+        stage.stage_add({"a"}, 1)
+        stage.stage_remove({"a"}, 1)
+        assert stage.pending_adds == 1
+        assert stage.pending_removes == 1
+
+
+class TestRemoval:
+    def test_remove_deletes_matching_association(self, hasher):
+        stage = StagingArea(hasher)
+        stage.stage_add({"a"}, 1)
+        stage.stage_add({"a"}, 2)
+        db = stage.apply(None)
+        stage.stage_remove({"a"}, 1)
+        db = stage.apply(db)
+        assert db.keys.tolist() == [2]
+
+    def test_remove_only_one_occurrence(self, hasher):
+        """Multiset semantics: removing (s, k) once keeps the duplicate."""
+        stage = StagingArea(hasher)
+        stage.stage_add({"a"}, 1)
+        stage.stage_add({"a"}, 1)
+        db = stage.apply(None)
+        stage.stage_remove({"a"}, 1)
+        db = stage.apply(db)
+        assert db.keys.tolist() == [1]
+
+    def test_remove_requires_same_set_and_key(self, hasher):
+        stage = StagingArea(hasher)
+        stage.stage_add({"a"}, 1)
+        db = stage.apply(None)
+        stage.stage_remove({"b"}, 1)   # wrong set
+        stage.stage_remove({"a"}, 9)   # wrong key
+        db = stage.apply(db)
+        assert len(db) == 1
+
+    def test_remove_nonexistent_is_noop(self, hasher):
+        stage = StagingArea(hasher)
+        stage.stage_remove({"ghost"}, 1)
+        db = stage.apply(None)
+        assert len(db) == 0
+
+    def test_add_and_remove_in_same_batch(self, hasher):
+        stage = StagingArea(hasher)
+        stage.stage_add({"a"}, 1)
+        stage.stage_remove({"a"}, 1)
+        db = stage.apply(None)
+        assert len(db) == 0
+
+
+class TestBulkAndSignatures:
+    def test_bulk_staging(self, hasher):
+        stage = StagingArea(hasher)
+        blocks = hasher.encode_sets([["a"], ["b"]])
+        stage.stage_add_bulk(blocks, np.array([1, 2]))
+        db = stage.apply(None)
+        assert len(db) == 2
+        np.testing.assert_array_equal(db.blocks, blocks)
+
+    def test_bulk_shape_validated(self, hasher):
+        stage = StagingArea(hasher)
+        with pytest.raises(ValidationError):
+            stage.stage_add_bulk(np.zeros((2, 5), np.uint64), np.array([1, 2]))
+        with pytest.raises(ValidationError):
+            stage.stage_add_bulk(np.zeros((2, 3), np.uint64), np.array([1]))
+
+    def test_signature_staging(self, hasher):
+        stage = StagingArea(hasher)
+        stage.stage_add_signature(hasher.encode_set({"x"}), 5)
+        db = stage.apply(None)
+        assert db.keys.tolist() == [5]
+
+    def test_signature_block_count_validated(self, hasher):
+        stage = StagingArea(hasher)
+        with pytest.raises(ValidationError):
+            stage.stage_add_signature((1, 2), 5)
+
+
+class TestStoredTags:
+    def test_tags_tracked_through_apply(self, hasher):
+        stage = StagingArea(hasher, store_tags=True)
+        stage.stage_add({"a", "b"}, 1)
+        stage.stage_add({"c"}, 2)
+        db = stage.apply(None)
+        assert db.tag_sets == [frozenset({"a", "b"}), frozenset({"c"})]
+
+    def test_tags_filtered_on_removal(self, hasher):
+        stage = StagingArea(hasher, store_tags=True)
+        stage.stage_add({"a"}, 1)
+        stage.stage_add({"b"}, 2)
+        db = stage.apply(None)
+        stage.stage_remove({"a"}, 1)
+        db = stage.apply(db)
+        assert db.tag_sets == [frozenset({"b"})]
+
+    def test_bulk_rejected_with_store_tags(self, hasher):
+        stage = StagingArea(hasher, store_tags=True)
+        with pytest.raises(ValidationError):
+            stage.stage_add_bulk(np.zeros((1, 3), np.uint64), np.array([1]))
+        with pytest.raises(ValidationError):
+            stage.stage_add_signature((0, 0, 0), 1)
+
+    def test_mixed_database_rejected(self, hasher):
+        plain = StagingArea(hasher)
+        plain.stage_add({"a"}, 1)
+        db = plain.apply(None)
+        tagged = StagingArea(hasher, store_tags=True)
+        tagged.stage_add({"b"}, 2)
+        with pytest.raises(ValidationError):
+            tagged.apply(db)
+
+
+class TestConsolidatedDatabase:
+    def test_parallel_validation(self):
+        with pytest.raises(ValidationError):
+            ConsolidatedDatabase(np.zeros((2, 3), np.uint64), np.zeros(3, np.int64))
+
+    def test_tag_sets_length_validated(self):
+        with pytest.raises(ValidationError):
+            ConsolidatedDatabase(
+                np.zeros((2, 3), np.uint64), np.zeros(2, np.int64), [frozenset()]
+            )

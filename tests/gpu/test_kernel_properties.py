@@ -1,0 +1,92 @@
+"""Hypothesis properties for the subset-match kernel."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bloom.array import SignatureArray
+from repro.bloom.filter import BloomSignature
+from repro.gpu.kernels import block_prefixes, subset_match_kernel
+
+WIDTH = 192
+bit_lists = st.lists(st.integers(0, 40), min_size=0, max_size=6)
+
+
+def sorted_blocks(rows):
+    arr = SignatureArray.from_signatures(
+        [BloomSignature.from_bits(r, width=WIDTH) for r in rows]
+    )
+    return arr.blocks[arr.lex_sort_order()]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.lists(bit_lists, min_size=1, max_size=40),
+    queries=st.lists(bit_lists, min_size=1, max_size=6),
+    block_size=st.integers(1, 16),
+    prefilter=st.booleans(),
+)
+def test_kernel_equals_brute_force(rows, queries, block_size, prefilter):
+    sets = sorted_blocks(rows)
+    qblocks = sorted_blocks(queries)  # order irrelevant for queries
+    ids = np.arange(len(sets), dtype=np.uint32)
+    result = subset_match_kernel(
+        sets, ids, qblocks, thread_block_size=block_size, prefilter=prefilter
+    )
+    got = set(zip(result.query_ids.tolist(), result.set_ids.tolist()))
+    expected = {
+        (qi, si)
+        for si in range(len(sets))
+        for qi in range(len(qblocks))
+        if not np.any(sets[si] & ~qblocks[qi])
+    }
+    assert got == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.lists(bit_lists, min_size=1, max_size=40),
+    block_size=st.integers(1, 16),
+)
+def test_prefix_is_greatest_common_prefix(rows, block_size):
+    """Each block prefix is contained in every row of its block, and the
+    bit right after the prefix differs between first and last row (it is
+    the *longest* common prefix, not just any)."""
+    sets = sorted_blocks(rows)
+    prefixes = block_prefixes(sets, block_size)
+    n = sets.shape[0]
+    for tb in range(prefixes.shape[0]):
+        chunk = sets[tb * block_size : min((tb + 1) * block_size, n)]
+        assert not np.any(prefixes[tb] & ~chunk)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.lists(bit_lists, min_size=1, max_size=30),
+    queries=st.lists(bit_lists, min_size=1, max_size=4),
+)
+def test_cached_prefixes_equal_inline_computation(rows, queries):
+    """Passing precomputed prefixes (the tagset-table cache) must not
+    change kernel output."""
+    sets = sorted_blocks(rows)
+    qblocks = sorted_blocks(queries)
+    ids = np.arange(len(sets), dtype=np.uint32)
+    inline = subset_match_kernel(sets, ids, qblocks, thread_block_size=4)
+    cached = subset_match_kernel(
+        sets, ids, qblocks, thread_block_size=4,
+        prefixes=block_prefixes(sets, 4),
+    )
+    assert set(zip(inline.query_ids.tolist(), inline.set_ids.tolist())) == set(
+        zip(cached.query_ids.tolist(), cached.set_ids.tolist())
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=st.lists(bit_lists, min_size=1, max_size=30))
+def test_surviving_slots_bounded(rows):
+    sets = sorted_blocks(rows)
+    ids = np.arange(len(sets), dtype=np.uint32)
+    queries = sorted_blocks([[1, 2, 3]])
+    result = subset_match_kernel(sets, ids, queries, thread_block_size=4)
+    assert 0 <= result.stats.surviving_query_slots
+    assert result.stats.surviving_query_slots <= result.stats.num_thread_blocks

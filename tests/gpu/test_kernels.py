@@ -1,0 +1,222 @@
+"""Tests for the SPMD subset-match kernel (Algorithms 3–4)."""
+
+import numpy as np
+import pytest
+
+from repro.bloom.array import SignatureArray
+from repro.bloom.filter import BloomSignature
+from repro.errors import ValidationError
+from repro.gpu.kernels import block_prefixes, subset_match_kernel
+from repro.gpu.timing import CostModel, DeviceClock
+
+
+def sorted_sets(bit_lists, width=192):
+    arr = SignatureArray.from_signatures(
+        [BloomSignature.from_bits(bits, width=width) for bits in bit_lists]
+    )
+    order = arr.lex_sort_order()
+    return arr.blocks[order], order
+
+
+def brute_force(sets, queries):
+    pairs = set()
+    for si, srow in enumerate(sets):
+        for qi, qrow in enumerate(queries):
+            if not np.any(srow & ~qrow):
+                pairs.add((qi, si))
+    return pairs
+
+
+def kernel_pairs(result):
+    return set(zip(result.query_ids.tolist(), result.set_ids.tolist()))
+
+
+class TestBlockPrefixes:
+    def test_identical_rows_share_full_prefix(self):
+        sets, _ = sorted_sets([[1, 5], [1, 5], [1, 5]])
+        prefixes = block_prefixes(sets, thread_block_size=4)
+        np.testing.assert_array_equal(prefixes[0], sets[0])
+
+    def test_prefix_is_subset_of_all_rows_in_block(self):
+        rng = np.random.default_rng(7)
+        bit_lists = [sorted(rng.choice(192, size=12, replace=False)) for _ in range(64)]
+        sets, _ = sorted_sets(bit_lists)
+        for bs in (4, 16, 64):
+            prefixes = block_prefixes(sets, thread_block_size=bs)
+            for tb in range(prefixes.shape[0]):
+                chunk = sets[tb * bs : (tb + 1) * bs]
+                assert not np.any(prefixes[tb] & ~chunk), (
+                    "prefix must be contained in every set of its block"
+                )
+
+    def test_prefix_stops_at_first_differing_bit(self):
+        # 1100... and 1010...: common prefix is just bit 0.
+        a = BloomSignature.from_bits([0, 2], width=192)
+        b = BloomSignature.from_bits([0, 1], width=192)
+        sets = SignatureArray.from_signatures(sorted([a, b])).blocks
+        prefixes = block_prefixes(sets, thread_block_size=2)
+        expected = BloomSignature.from_bits([0], width=192)
+        assert tuple(int(w) for w in prefixes[0]) == expected.blocks
+
+    def test_disjoint_leading_bit_gives_empty_prefix(self):
+        a = BloomSignature.from_bits([0], width=192)
+        b = BloomSignature.from_bits([1], width=192)
+        sets = SignatureArray.from_signatures(sorted([a, b])).blocks
+        prefixes = block_prefixes(sets, thread_block_size=2)
+        assert not prefixes[0].any()
+
+    def test_tail_block_uses_actual_last_row(self):
+        sets, _ = sorted_sets([[3], [3], [3, 7], [5]])
+        prefixes = block_prefixes(sets, thread_block_size=3)
+        assert prefixes.shape[0] == 2
+        # Last block has a single row: prefix is the row itself.
+        np.testing.assert_array_equal(prefixes[1], sets[3])
+
+
+class TestKernelCorrectness:
+    def test_matches_brute_force_small(self):
+        sets, _ = sorted_sets([[1], [1, 2], [3], [1, 2, 3], [9]])
+        queries, _ = sorted_sets([[1, 2], [3, 9], [1, 2, 3, 4]])
+        ids = np.arange(len(sets), dtype=np.uint32)
+        result = subset_match_kernel(sets, ids, queries, thread_block_size=2)
+        assert kernel_pairs(result) == brute_force(sets, queries)
+
+    @pytest.mark.parametrize("prefilter", [True, False])
+    @pytest.mark.parametrize("block_size", [1, 3, 64, 1024])
+    def test_matches_brute_force_random(self, prefilter, block_size):
+        rng = np.random.default_rng(42)
+        bit_lists = [
+            sorted(rng.choice(64, size=rng.integers(1, 8), replace=False))
+            for _ in range(200)
+        ]
+        sets, _ = sorted_sets(bit_lists)
+        queries = np.stack(
+            [
+                SignatureArray.from_signatures(
+                    [BloomSignature.from_bits(
+                        rng.choice(64, size=12, replace=False), width=192
+                    )]
+                ).blocks[0]
+                for _ in range(20)
+            ]
+        )
+        ids = np.arange(len(sets), dtype=np.uint32)
+        result = subset_match_kernel(
+            sets, ids, queries, thread_block_size=block_size, prefilter=prefilter
+        )
+        assert kernel_pairs(result) == brute_force(sets, queries)
+
+    def test_global_set_ids_reported(self):
+        sets, _ = sorted_sets([[1], [2]])
+        ids = np.array([100, 200], dtype=np.uint32)
+        queries, _ = sorted_sets([[1, 2]])
+        result = subset_match_kernel(sets, ids, queries)
+        assert set(result.set_ids.tolist()) == {100, 200}
+
+    def test_empty_partition(self):
+        result = subset_match_kernel(
+            np.empty((0, 3), dtype=np.uint64),
+            np.empty(0, dtype=np.uint32),
+            np.zeros((2, 3), dtype=np.uint64),
+        )
+        assert result.query_ids.size == 0
+        assert result.stats.num_threads == 0
+
+    def test_empty_batch(self):
+        sets, _ = sorted_sets([[1]])
+        result = subset_match_kernel(
+            sets, np.zeros(1, dtype=np.uint32), np.empty((0, 3), dtype=np.uint64)
+        )
+        assert result.set_ids.size == 0
+
+    def test_batch_over_256_rejected(self):
+        sets, _ = sorted_sets([[1]])
+        with pytest.raises(ValidationError):
+            subset_match_kernel(
+                sets, np.zeros(1, dtype=np.uint32), np.zeros((257, 3), dtype=np.uint64)
+            )
+
+    def test_mismatched_ids_rejected(self):
+        sets, _ = sorted_sets([[1], [2]])
+        with pytest.raises(ValidationError):
+            subset_match_kernel(sets, np.zeros(1, dtype=np.uint32), np.zeros((1, 3), np.uint64))
+
+
+class TestPrefilterBehaviour:
+    def test_prefilter_skips_unmatchable_blocks(self):
+        # All sets share bit 0; a query without bit 0 must be filtered
+        # from every thread block.
+        sets, _ = sorted_sets([[0, i] for i in range(1, 40)])
+        ids = np.arange(len(sets), dtype=np.uint32)
+        query = SignatureArray.from_signatures(
+            [BloomSignature.from_bits([5, 6, 7], width=192)]
+        ).blocks
+        result = subset_match_kernel(sets, ids, query, thread_block_size=8)
+        assert result.stats.surviving_query_slots == 0
+        assert result.query_ids.size == 0
+
+    def test_prefilter_keeps_matching_queries(self):
+        sets, _ = sorted_sets([[0, 1], [0, 2]])
+        ids = np.arange(2, dtype=np.uint32)
+        query = SignatureArray.from_signatures(
+            [BloomSignature.from_bits([0, 1, 2], width=192)]
+        ).blocks
+        result = subset_match_kernel(sets, ids, query, thread_block_size=2)
+        assert result.stats.surviving_query_slots == 1
+        assert result.query_ids.size == 2
+
+    def test_prefilter_never_changes_results(self):
+        rng = np.random.default_rng(3)
+        bit_lists = [
+            sorted(rng.choice(48, size=rng.integers(1, 6), replace=False))
+            for _ in range(300)
+        ]
+        sets, _ = sorted_sets(bit_lists)
+        ids = np.arange(len(sets), dtype=np.uint32)
+        queries = np.stack(
+            [
+                SignatureArray.from_signatures(
+                    [BloomSignature.from_bits(
+                        rng.choice(48, size=10, replace=False), width=192
+                    )]
+                ).blocks[0]
+                for _ in range(10)
+            ]
+        )
+        with_pf = subset_match_kernel(sets, ids, queries, thread_block_size=16)
+        without = subset_match_kernel(
+            sets, ids, queries, thread_block_size=16, prefilter=False
+        )
+        assert kernel_pairs(with_pf) == kernel_pairs(without)
+        assert with_pf.stats.surviving_query_slots <= without.stats.surviving_query_slots
+
+    def test_prefilter_ratio_stat(self):
+        sets, _ = sorted_sets([[0, 1], [0, 2]])
+        ids = np.arange(2, dtype=np.uint32)
+        queries, _ = sorted_sets([[5]])
+        result = subset_match_kernel(sets, ids, queries, thread_block_size=2)
+        assert result.stats.prefilter_ratio == 1.0
+
+
+class TestKernelAccounting:
+    def test_simulated_time_charged_to_clock(self):
+        sets, _ = sorted_sets([[1], [2], [3]])
+        ids = np.arange(3, dtype=np.uint32)
+        queries, _ = sorted_sets([[1, 2, 3]])
+        clock = DeviceClock()
+        result = subset_match_kernel(
+            sets, ids, queries, cost_model=CostModel(), clock=clock
+        )
+        assert result.stats.simulated_time_s > 0
+        assert clock.kernel_s == pytest.approx(result.stats.simulated_time_s)
+
+    def test_no_cost_model_means_zero_simulated_time(self):
+        sets, _ = sorted_sets([[1]])
+        result = subset_match_kernel(sets, np.zeros(1, np.uint32), sets)
+        assert result.stats.simulated_time_s == 0.0
+
+    def test_pair_count_stat(self):
+        sets, _ = sorted_sets([[1], [2]])
+        queries, _ = sorted_sets([[1, 2]])
+        result = subset_match_kernel(sets, np.arange(2, dtype=np.uint32), queries)
+        assert result.stats.num_pairs == 2

@@ -1,0 +1,114 @@
+"""Tests for the §3.3.1 packed result layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.gpu.packing import (
+    GROUP,
+    naive_aligned_size,
+    pack_results,
+    packed_size,
+    unpack_results,
+)
+
+
+class TestPackedSize:
+    def test_zero_pairs(self):
+        assert packed_size(0) == 0
+
+    def test_full_group(self):
+        assert packed_size(4) == 20
+
+    def test_two_full_groups(self):
+        assert packed_size(8) == 40
+
+    def test_partial_group_reserves_query_bytes(self):
+        # 1 pair: 4 query-id bytes (3 wasted) + 4 set-id bytes.
+        assert packed_size(1) == 8
+        assert packed_size(2) == 12
+        assert packed_size(3) == 16
+
+    def test_worst_case_loss_is_three_bytes(self):
+        """The paper: 'a worst-case total loss of only three bytes'."""
+        for n in range(1, 100):
+            ideal = n * 5  # 1 query byte + 4 set-id bytes per pair
+            assert 0 <= packed_size(n) - ideal <= 3
+
+    def test_saves_38_percent_vs_aligned(self):
+        n = 10_000
+        saving = 1 - packed_size(n) / naive_aligned_size(n)
+        assert saving == pytest.approx(0.375, abs=0.01)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            packed_size(-1)
+        with pytest.raises(ValidationError):
+            naive_aligned_size(-1)
+
+
+class TestRoundtrip:
+    def test_empty(self):
+        q, s = unpack_results(pack_results(np.array([], np.uint8), np.array([], np.uint32)), 0)
+        assert q.size == 0 and s.size == 0
+
+    def test_exact_group(self):
+        q = np.array([1, 2, 3, 4], dtype=np.uint8)
+        s = np.array([10, 20, 30, 40], dtype=np.uint32)
+        packed = pack_results(q, s)
+        q2, s2 = unpack_results(packed, 4)
+        np.testing.assert_array_equal(q, q2)
+        np.testing.assert_array_equal(s, s2)
+
+    def test_group_byte_layout(self):
+        q = np.array([1, 2, 3, 4], dtype=np.uint8)
+        s = np.array([0x01020304, 0, 0, 0], dtype=np.uint32)
+        packed = pack_results(q, s)
+        # Four query bytes first ...
+        np.testing.assert_array_equal(packed[:4], [1, 2, 3, 4])
+        # ... then s1 little-endian.
+        np.testing.assert_array_equal(packed[4:8], [0x04, 0x03, 0x02, 0x01])
+
+    def test_large_set_ids_survive(self):
+        q = np.zeros(5, dtype=np.uint8)
+        s = np.array([2**32 - 1, 2**31, 7, 123456789, 0], dtype=np.uint32)
+        q2, s2 = unpack_results(pack_results(q, s), 5)
+        np.testing.assert_array_equal(s, s2)
+        assert q2.dtype == np.uint8 and s2.dtype == np.uint32
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            pack_results(np.zeros(2, np.uint8), np.zeros(3, np.uint32))
+
+    def test_undersized_buffer_rejected(self):
+        packed = pack_results(np.zeros(4, np.uint8), np.zeros(4, np.uint32))
+        with pytest.raises(ValidationError):
+            unpack_results(packed, 8)
+
+
+@given(
+    pairs=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=255),
+            st.integers(min_value=0, max_value=2**32 - 1),
+        ),
+        max_size=50,
+    )
+)
+def test_roundtrip_property(pairs):
+    q = np.array([p[0] for p in pairs], dtype=np.uint8)
+    s = np.array([p[1] for p in pairs], dtype=np.uint32)
+    packed = pack_results(q, s)
+    assert packed.size == packed_size(len(pairs))
+    q2, s2 = unpack_results(packed, len(pairs))
+    np.testing.assert_array_equal(q, q2)
+    np.testing.assert_array_equal(s, s2)
+
+
+@given(n=st.integers(min_value=0, max_value=1000))
+def test_packed_never_larger_than_aligned(n):
+    assert packed_size(n) <= naive_aligned_size(n)
+    if n >= GROUP:
+        assert packed_size(n) < naive_aligned_size(n)

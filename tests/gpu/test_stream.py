@@ -1,0 +1,107 @@
+"""Tests for FIFO streams and asynchronous ops."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import StreamError
+from repro.gpu.device import Device
+
+
+@pytest.fixture
+def device():
+    dev = Device(num_streams=3)
+    yield dev
+    dev.close()
+
+
+class TestFifoSemantics:
+    def test_ops_run_in_order(self, device):
+        """§3.3.2: operations within one stream execute in FIFO order."""
+        stream = device.streams[0]
+        order = []
+        ops = [stream.enqueue(lambda i=i: order.append(i)) for i in range(50)]
+        for op in ops:
+            op.wait()
+        assert order == list(range(50))
+
+    def test_wait_returns_result(self, device):
+        op = device.streams[0].enqueue(lambda: 41 + 1)
+        assert op.wait() == 42
+
+    def test_wait_reraises_device_error(self, device):
+        def boom():
+            raise RuntimeError("kernel fault")
+
+        op = device.streams[0].enqueue(boom)
+        with pytest.raises(RuntimeError, match="kernel fault"):
+            op.wait()
+
+    def test_error_does_not_kill_stream(self, device):
+        stream = device.streams[0]
+        stream.enqueue(lambda: 1 / 0)
+        op = stream.enqueue(lambda: "alive")
+        assert op.wait() == "alive"
+
+    def test_done_flag(self, device):
+        op = device.streams[0].enqueue(lambda: None)
+        op.wait()
+        assert op.done
+
+
+class TestCrossStreamConcurrency:
+    def test_streams_run_concurrently(self, device):
+        """Ops in different streams may overlap (a blocked stream does
+        not block its siblings)."""
+        gate = threading.Event()
+        slow = device.streams[0].enqueue(lambda: gate.wait(2.0))
+        fast = device.streams[1].enqueue(lambda: "done")
+        assert fast.wait(timeout=1.0) == "done"
+        gate.set()
+        slow.wait()
+
+    def test_synchronize_waits_for_all_prior_ops(self, device):
+        stream = device.streams[0]
+        seen = []
+        stream.enqueue(lambda: (time.sleep(0.05), seen.append(1)))
+        stream.synchronize()
+        assert seen == [1]
+
+    def test_device_synchronize(self, device):
+        seen = []
+        for i, stream in enumerate(device.streams):
+            stream.enqueue(lambda i=i: seen.append(i))
+        device.synchronize()
+        assert sorted(seen) == [0, 1, 2]
+
+
+class TestLifecycle:
+    def test_close_drains_pending(self, device):
+        stream = device.streams[0]
+        seen = []
+        for i in range(10):
+            stream.enqueue(lambda i=i: seen.append(i))
+        stream.close()
+        assert seen == list(range(10))
+
+    def test_enqueue_after_close(self, device):
+        stream = device.streams[0]
+        stream.close()
+        with pytest.raises(StreamError):
+            stream.enqueue(lambda: None)
+
+    def test_double_close_is_noop(self, device):
+        stream = device.streams[0]
+        stream.close()
+        stream.close()
+        assert stream.closed
+
+    def test_wait_timeout(self, device):
+        gate = threading.Event()
+        blocked = device.streams[0].enqueue(lambda: gate.wait(5))
+        late = device.streams[0].enqueue(lambda: None)
+        with pytest.raises(StreamError, match="timed out"):
+            late.wait(timeout=0.05)
+        gate.set()
+        blocked.wait()

@@ -1,0 +1,56 @@
+"""Tests for the full-scale projection calculator."""
+
+import pytest
+
+from repro.harness.projection import CPP_OVER_PYTHON, project_full_scale
+from repro.harness.workload_cache import build_engine, default_engine_config
+from repro.workloads import generate_twitter_workload
+from repro.workloads.scaling import PAPER_UNIQUE_SETS
+
+
+@pytest.fixture(scope="module")
+def setup():
+    workload = generate_twitter_workload(num_users=8000, seed=47)
+    engine = build_engine(
+        workload.blocks,
+        workload.keys,
+        default_engine_config(max_partition_size=256, num_gpus=2),
+    )
+    yield engine, workload
+    engine.close()
+
+
+class TestProjection:
+    def test_fields_populated(self, setup):
+        engine, workload = setup
+        p = project_full_scale(engine, workload, num_queries=256)
+        assert p.measured_qps > 0
+        assert p.measured_checks_per_query > 0
+        assert p.bottleneck in ("gpu", "cpu")
+        assert p.projected_qps > 0
+
+    def test_checks_scale_linearly_with_database(self, setup):
+        engine, workload = setup
+        p = project_full_scale(engine, workload, num_queries=256)
+        expected_ratio = PAPER_UNIQUE_SETS / engine.num_unique_sets
+        assert p.projected_checks_per_query == pytest.approx(
+            p.measured_checks_per_query * expected_ratio
+        )
+
+    def test_projection_in_paper_ballpark(self, setup):
+        """The projection must land within an order of magnitude of the
+        paper's ~30K match-unique q/s — it is a sanity model with two
+        documented constants, not a benchmark."""
+        engine, workload = setup
+        p = project_full_scale(engine, workload, num_queries=256)
+        assert 3_000 < p.projected_qps < 1_000_000
+
+    def test_more_gpus_helps_when_gpu_bound(self, setup):
+        engine, workload = setup
+        two = project_full_scale(engine, workload, num_queries=256, paper_gpus=2)
+        eight = project_full_scale(engine, workload, num_queries=256, paper_gpus=8)
+        if two.bottleneck == "gpu":
+            assert eight.projected_qps > two.projected_qps
+
+    def test_constant_is_documented_scale(self):
+        assert 5 <= CPP_OVER_PYTHON <= 100

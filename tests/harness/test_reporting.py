@@ -1,0 +1,96 @@
+"""Tests for result formatting and persistence."""
+
+import os
+
+from repro.harness.reporting import ExperimentResult, format_table, save_result
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_none_renders_as_dash(self):
+        text = format_table(["x"], [[None]])
+        assert "—" in text
+
+    def test_float_rendering(self):
+        text = format_table(["v"], [[1234.567], [3.14159], [0.00123]])
+        assert "1235" in text
+        assert "3.14" in text
+        assert "0.0012" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            name="demo",
+            title="A demo table",
+            headers=["k", "v"],
+            rows=[["x", 1.0]],
+            notes="a note",
+            data={"raw": [1.0]},
+        )
+
+    def test_to_text_contains_everything(self):
+        text = self.make().to_text()
+        assert "demo" in text
+        assert "A demo table" in text
+        assert "a note" in text
+        assert text.endswith("\n")
+
+    def test_save_result(self, tmp_path):
+        path = save_result(self.make(), directory=str(tmp_path))
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert "A demo table" in handle.read()
+
+
+class TestSeriesChart:
+    def test_basic_render(self):
+        from repro.harness.reporting import format_series_chart
+
+        chart = format_series_chart([1, 2, 3], {"a": [1.0, 2.0, 3.0]})
+        lines = chart.splitlines()
+        assert any("o" in line for line in lines)
+        assert "a" in lines[-1]
+        assert "1 … 3" in chart
+
+    def test_log_scale(self):
+        from repro.harness.reporting import format_series_chart
+
+        chart = format_series_chart(
+            [1, 2], {"x": [1.0, 1000.0]}, log_y=True, height=6
+        )
+        assert "1e+03" in chart or "1000" in chart
+
+    def test_none_and_zero_values_skipped(self):
+        from repro.harness.reporting import format_series_chart
+
+        chart = format_series_chart([1, 2, 3], {"a": [None, 0.0, 5.0]})
+        assert "o" in chart
+
+    def test_empty_series(self):
+        from repro.harness.reporting import format_series_chart
+
+        assert format_series_chart([1], {"a": [None]}) == "(no data)"
+
+    def test_flat_series(self):
+        from repro.harness.reporting import format_series_chart
+
+        chart = format_series_chart([1, 2], {"a": [5.0, 5.0]})
+        assert "o" in chart
+
+    def test_two_series_get_distinct_markers(self):
+        from repro.harness.reporting import format_series_chart
+
+        chart = format_series_chart(
+            [1, 2], {"a": [1.0, 2.0], "b": [2.0, 1.0]}
+        )
+        assert "o a" in chart and "x b" in chart

@@ -1,0 +1,45 @@
+"""Tests for throughput/latency measurement helpers."""
+
+import numpy as np
+import pytest
+
+from repro.harness.runner import ThroughputResult, latency_percentiles, measure_matcher
+
+
+class TestThroughputResult:
+    def test_derived_rates(self):
+        r = ThroughputResult("x", num_queries=2000, elapsed_s=2.0, output_keys=6000)
+        assert r.qps == 1000.0
+        assert r.kqps == 1.0
+        assert r.output_rate == 3000.0
+
+    def test_zero_elapsed(self):
+        r = ThroughputResult("x", 10, 0.0, 0)
+        assert r.qps == 0.0
+        assert r.output_rate == 0.0
+
+
+class TestMeasureMatcher:
+    def test_counts_queries_and_keys(self):
+        queries = np.zeros((5, 3), dtype=np.uint64)
+
+        def match_many(qs):
+            return [np.arange(i) for i in range(len(qs))]
+
+        r = measure_matcher("demo", match_many, queries)
+        assert r.num_queries == 5
+        assert r.output_keys == 0 + 1 + 2 + 3 + 4
+        assert r.elapsed_s > 0
+        assert r.system == "demo"
+
+
+class TestLatencyPercentiles:
+    def test_values_in_ms(self):
+        pct = latency_percentiles(np.array([0.1, 0.2, 0.3, 0.4]))
+        assert pct["p50_ms"] == pytest.approx(250.0)
+        assert pct["max_ms"] == pytest.approx(400.0)
+
+    def test_ordering(self):
+        rng = np.random.default_rng(0)
+        pct = latency_percentiles(rng.random(1000))
+        assert pct["p50_ms"] <= pct["p90_ms"] <= pct["p99_ms"] <= pct["max_ms"]

@@ -1,0 +1,123 @@
+"""Failure injection: capacity exhaustion, misuse, lifecycle edges."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TagMatchConfig
+from repro.core.engine import TagMatch
+from repro.errors import CapacityError, ConsolidationError, DeviceError, ValidationError
+from repro.workloads import generate_twitter_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_twitter_workload(num_users=2000, seed=17)
+
+
+class TestDeviceCapacity:
+    def test_consolidate_fails_cleanly_when_gpu_too_small(self, workload):
+        # A device too small for the tagset table: consolidate raises the
+        # capacity error instead of silently truncating the index.
+        cfg = TagMatchConfig(device_memory=16 * 1024, batch_timeout_s=None)
+        eng = TagMatch(cfg)
+        eng.add_signatures(workload.blocks, workload.keys)
+        with pytest.raises(CapacityError):
+            eng.consolidate()
+        eng.close()
+
+    def test_split_placement_needs_less_per_device(self, workload):
+        # The same database that does not fit replicated on tiny devices
+        # can fit when partitioned across them.
+        blocks, keys = workload.blocks[:2000], workload.keys[:2000]
+        # Probe the exact per-device footprint of the replicated table.
+        probe = TagMatch(TagMatchConfig(num_gpus=1, batch_timeout_s=None))
+        probe.add_signatures(blocks, keys)
+        probe.consolidate()
+        need = probe.memory_usage().gpu_tagset_bytes
+        probe.close()
+
+        replicated = TagMatch(
+            TagMatchConfig(
+                num_gpus=4, device_memory=int(need * 0.6), batch_timeout_s=None
+            )
+        )
+        replicated.add_signatures(blocks, keys)
+        with pytest.raises(CapacityError):
+            replicated.consolidate()
+        replicated.close()
+
+        split = TagMatch(
+            TagMatchConfig(
+                num_gpus=4,
+                device_memory=int(need * 0.6),
+                replicate_tagset_table=False,
+                batch_timeout_s=None,
+            )
+        )
+        split.add_signatures(blocks, keys)
+        split.consolidate()  # fits: each device holds ~1/4 of the table
+        assert split.match_batch(blocks[:1])[0].size > 0
+        split.close()
+
+
+class TestLifecycleMisuse:
+    def test_match_before_consolidate(self):
+        with TagMatch() as eng:
+            eng.add_set({"a"}, 1)
+            with pytest.raises(ConsolidationError):
+                eng.match({"a"})
+            with pytest.raises(ConsolidationError):
+                eng.match_stream(np.zeros((1, 3), np.uint64))
+            with pytest.raises(ConsolidationError):
+                eng.memory_usage()
+
+    def test_operations_after_close(self, workload):
+        eng = TagMatch(TagMatchConfig(batch_timeout_s=None))
+        eng.add_signatures(workload.blocks[:100], workload.keys[:100])
+        eng.consolidate()
+        eng.close()
+        with pytest.raises(DeviceError):
+            eng.match({"anything"})
+
+    def test_bad_inputs_rejected(self):
+        with TagMatch() as eng:
+            with pytest.raises(ValidationError):
+                eng.add_set(set(), 1)
+            with pytest.raises(ValidationError):
+                eng.add_signatures(np.zeros((2, 5), np.uint64), np.zeros(2))
+
+    def test_empty_then_populated(self, workload):
+        """An engine consolidated empty can be populated later."""
+        with TagMatch(TagMatchConfig(batch_timeout_s=None)) as eng:
+            eng.consolidate()
+            assert eng.match({"x"}).size == 0
+            eng.add_signatures(workload.blocks[:50], workload.keys[:50])
+            eng.consolidate()
+            assert eng.num_unique_sets > 0
+
+
+class TestPipelineRobustness:
+    def test_duplicate_queries_in_stream(self, workload):
+        cfg = TagMatchConfig(max_partition_size=64, batch_size=16, batch_timeout_s=0.01)
+        with TagMatch(cfg) as eng:
+            eng.add_signatures(workload.blocks, workload.keys)
+            eng.consolidate()
+            q = workload.queries(1, seed=3).blocks
+            stream = np.repeat(q, 50, axis=0)
+            run = eng.match_stream(stream, unique=True)
+            first = run.results[0].tolist()
+            assert all(r.tolist() == first for r in run.results)
+
+    def test_mixed_matching_and_nonmatching(self, workload):
+        cfg = TagMatchConfig(max_partition_size=64, batch_timeout_s=0.01)
+        with TagMatch(cfg) as eng:
+            eng.add_signatures(workload.blocks, workload.keys)
+            eng.consolidate()
+            hits = workload.queries(20, seed=4).blocks
+            misses = eng.encode_queries(
+                [{f"void-{i}"} for i in range(20)]
+            )
+            stream = np.vstack([hits, misses])
+            run = eng.match_stream(stream, unique=True)
+            assert all(r.size > 0 for r in run.results[:20])
+            assert all(r.size == 0 for r in run.results[20:])

@@ -1,0 +1,103 @@
+"""Tests for corpus serialization (plugging in real tweet archives)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.corpus_io import (
+    corpus_from_jsonl,
+    corpus_to_jsonl,
+    iter_corpus_tweets,
+)
+from repro.workloads.interests import generate_interests
+from repro.workloads.tweets import generate_tweet_corpus
+
+
+@pytest.fixture
+def corpus():
+    return generate_tweet_corpus(40, np.random.default_rng(3), vocab_size=100)
+
+
+class TestRoundtrip:
+    def test_tweet_count_preserved(self, corpus):
+        buffer = io.StringIO()
+        written = corpus_to_jsonl(corpus, buffer)
+        assert written == corpus.num_tweets
+        buffer.seek(0)
+        restored = corpus_from_jsonl(buffer)
+        assert restored.num_tweets == corpus.num_tweets
+        assert restored.num_publishers == corpus.num_publishers
+
+    def test_tweet_contents_preserved(self, corpus):
+        buffer = io.StringIO()
+        corpus_to_jsonl(corpus, buffer)
+        buffer.seek(0)
+        restored = corpus_from_jsonl(buffer)
+        original = list(iter_corpus_tweets(corpus))
+        loaded = list(iter_corpus_tweets(restored))
+        # publishers are renumbered densely in first-appearance order,
+        # which for a generated corpus is the identity
+        for (p1, t1), (p2, t2) in zip(original, loaded):
+            assert p1 == p2
+            assert len(t1) == len(t2)
+
+    def test_restored_corpus_drives_interest_generation(self, corpus):
+        buffer = io.StringIO()
+        corpus_to_jsonl(corpus, buffer)
+        buffer.seek(0)
+        restored = corpus_from_jsonl(buffer)
+        interests = generate_interests(restored, 200, np.random.default_rng(0))
+        assert len(interests) > 0
+        assert interests.mean_tags() > 1
+
+
+class TestParsing:
+    def test_hand_written_archive(self):
+        lines = [
+            '{"publisher": "alice", "hashtags": ["cats", "memes"]}',
+            '{"publisher": "bob", "hashtags": ["rust"]}',
+            "",
+            '{"publisher": "alice", "hashtags": ["cats"]}',
+        ]
+        corpus = corpus_from_jsonl(lines)
+        assert corpus.num_publishers == 2
+        assert corpus.num_tweets == 3
+        assert corpus.vocab_size == 3  # cats, memes, rust
+        # alice owns two tweets
+        assert len(list(corpus.tweets_of(0))) == 2
+
+    def test_tweets_without_hashtags_skipped(self):
+        lines = [
+            '{"publisher": 1, "hashtags": []}',
+            '{"publisher": 1, "hashtags": ["x"]}',
+        ]
+        corpus = corpus_from_jsonl(lines)
+        assert corpus.num_tweets == 1
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(WorkloadError, match="line 1"):
+            corpus_from_jsonl(["{not json"])
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(WorkloadError):
+            corpus_from_jsonl(['{"publisher": 1}'])
+
+    def test_non_list_hashtags_rejected(self):
+        with pytest.raises(WorkloadError):
+            corpus_from_jsonl(['{"publisher": 1, "hashtags": "x"}'])
+
+    def test_empty_archive_rejected(self):
+        with pytest.raises(WorkloadError):
+            corpus_from_jsonl([])
+
+    def test_structure_invariants(self):
+        lines = [
+            '{"publisher": 9, "hashtags": ["a", "b", "c"]}',
+            '{"publisher": 4, "hashtags": ["a"]}',
+        ]
+        corpus = corpus_from_jsonl(lines)
+        assert corpus.tag_offsets[-1] == corpus.tweet_tags.size
+        assert corpus.tweet_offsets[-1] == corpus.num_tweets
+        assert corpus.tweet_tags.max() < corpus.vocab_size

@@ -1,0 +1,48 @@
+"""Tests for the scaling policy."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import scaling
+
+
+class TestScale:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scaling.scale() == scaling.DEFAULT_SCALE
+
+    def test_env_override_fraction(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "1/256")
+        assert scaling.scale() == pytest.approx(1 / 256)
+
+    def test_env_override_float(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        assert scaling.scale() == pytest.approx(0.01)
+
+    def test_bad_value_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "banana")
+        with pytest.raises(WorkloadError):
+            scaling.scale()
+
+    def test_out_of_range_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.0")
+        with pytest.raises(WorkloadError):
+            scaling.scale()
+        monkeypatch.setenv("REPRO_SCALE", "0")
+        with pytest.raises(WorkloadError):
+            scaling.scale()
+
+
+class TestScaled:
+    def test_scaled_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "1/1000")
+        assert scaling.scaled(scaling.PAPER_USERS) == 300_000
+        assert scaling.scaled(scaling.PAPER_MAX_P) == 200
+
+    def test_minimum_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "1/1000000")
+        assert scaling.scaled(10, minimum=5) == 5
+
+    def test_paper_constants(self):
+        assert scaling.PAPER_UNIQUE_SETS == 212_000_000
+        assert scaling.PAPER_TWITTER_RATE_QPS == 6_000
