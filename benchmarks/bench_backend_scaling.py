@@ -1,0 +1,191 @@
+"""Backend scaling sweep: throughput of inline vs thread vs process.
+
+Sweeps the execution backends (and worker counts for the pooled ones)
+over one pipelined query stream and writes a machine-readable
+``BENCH_pipeline.json`` at the repo root, plus the usual text table
+under ``benchmarks/results/backend_scaling.txt``.
+
+This is the host-side analogue of the paper's §4.3.3 thread sweep
+(Figure 5): the process backend is the configuration where stage-2
+kernels genuinely occupy extra cores, so on a multi-core host its qps
+should rise above inline while the thread backend is GIL-bound.
+
+Run standalone (pytest never collects it — no test functions)::
+
+    PYTHONPATH=src python benchmarks/bench_backend_scaling.py          # full sweep
+    PYTHONPATH=src python benchmarks/bench_backend_scaling.py --smoke  # ~30 s budget
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import warnings
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core.config import TagMatchConfig  # noqa: E402
+from repro.core.engine import TagMatch  # noqa: E402
+from repro.harness.reporting import ExperimentResult, save_result  # noqa: E402
+
+RESULTS_DIR = os.path.join(REPO_ROOT, "benchmarks", "results")
+DEFAULT_JSON = os.path.join(REPO_ROOT, "BENCH_pipeline.json")
+
+
+def build_engine(backend: str, workers: int | None, *, num_sets: int) -> TagMatch:
+    cfg = TagMatchConfig(
+        max_partition_size=64,
+        batch_size=32,
+        batch_timeout_s=0.01,
+        num_threads=4,
+        backend=backend,
+        backend_workers=workers,
+    )
+    engine = TagMatch(cfg)
+    rng = np.random.default_rng(42)
+    num_tags = 96
+    for key in range(num_sets):
+        size = int(rng.integers(1, 7))
+        chosen = rng.choice(num_tags, size=size, replace=False)
+        engine.add_set({f"tag-{c}" for c in chosen}, key=key)
+    engine.consolidate()
+    return engine
+
+
+def make_queries(engine: TagMatch, num_queries: int) -> np.ndarray:
+    rng = np.random.default_rng(7)
+    tag_sets = [
+        {f"tag-{c}" for c in rng.choice(96, size=12, replace=False)}
+        for _ in range(num_queries)
+    ]
+    return engine.encode_queries(tag_sets)
+
+
+def measure(engine: TagMatch, queries: np.ndarray, repeats: int) -> dict:
+    engine.match_stream(queries[: max(8, len(queries) // 8)])  # warm-up
+    best = None
+    for _ in range(repeats):
+        run = engine.match_stream(queries)
+        record = {
+            "qps": run.throughput_qps,
+            "output_keys_per_s": run.output_keys / run.elapsed_s
+            if run.elapsed_s > 0
+            else 0.0,
+            "kernel_wall_s": run.stats.kernel_wall_s,
+        }
+        if best is None or record["qps"] > best["qps"]:
+            best = record
+    return best
+
+
+def sweep(smoke: bool, json_path: str) -> ExperimentResult:
+    num_sets = 400 if smoke else 2000
+    num_queries = 120 if smoke else 600
+    repeats = 1 if smoke else 3
+    worker_counts = (2,) if smoke else (2, 4)
+
+    configs: list[tuple[str, int | None]] = [("inline", None)]
+    configs += [("thread", w) for w in worker_counts]
+    configs += [("process", w) for w in worker_counts]
+    # Default policy row: backend="process" with no pinned worker count.
+    # On a single-core host create_backend degrades this to the thread
+    # backend, which is the configuration the acceptance bar holds to
+    # "within 10% of inline" there; on multi-core it is a real pool.
+    configs.append(("process", None))
+
+    records = []
+    rows = []
+    for backend, workers in configs:
+        with warnings.catch_warnings():
+            if workers is not None:
+                # An explicit worker count forces a real pool even on
+                # single-core hosts; no fallback warnings expected.
+                warnings.simplefilter("error", RuntimeWarning)
+            else:
+                warnings.simplefilter("ignore", RuntimeWarning)
+            engine = build_engine(backend, workers, num_sets=num_sets)
+        try:
+            effective = engine.backend.workers
+            effective_backend = engine.backend.name
+            queries = make_queries(engine, num_queries)
+            start = time.perf_counter()
+            record = measure(engine, queries, repeats)
+            elapsed = time.perf_counter() - start
+        finally:
+            engine.close()
+        record["backend"] = backend
+        record["workers"] = effective
+        record["effective_backend"] = effective_backend
+        record["pinned_workers"] = workers is not None
+        records.append(record)
+        label = (
+            backend
+            if workers is not None or backend == "inline"
+            else f"{backend} (default)"
+        )
+        rows.append(
+            [
+                label,
+                effective,
+                round(record["qps"], 1),
+                round(record["output_keys_per_s"], 1),
+                round(record["kernel_wall_s"], 4),
+            ]
+        )
+        print(
+            f"{label:>18} workers={effective}: {record['qps']:8.1f} qps "
+            f"({elapsed:.1f} s measured)",
+            flush=True,
+        )
+
+    with open(json_path, "w") as handle:
+        json.dump(records, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {json_path} ({len(records)} records)")
+
+    inline_qps = next(r["qps"] for r in records if r["backend"] == "inline")
+    best_process = max(
+        (r["qps"] for r in records if r["backend"] == "process"), default=0.0
+    )
+    return ExperimentResult(
+        name="backend_scaling",
+        title="Execution backend scaling (inline vs thread vs process)",
+        headers=["backend", "workers", "qps", "keys/s", "kernel wall s"],
+        rows=rows,
+        notes=(
+            f"host cores: {os.cpu_count()}; best process/inline qps ratio: "
+            f"{best_process / inline_qps:.2f}x.  Process workers execute\n"
+            "stage-2 kernels on separate cores over shared-memory partition\n"
+            "views (paper §4.3.3 thread sweep, host-side analogue)."
+        ),
+        data={"records": records},
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload, single repeat (~30 s total, used by CI)",
+    )
+    parser.add_argument(
+        "--json",
+        default=DEFAULT_JSON,
+        help="output path for the machine-readable records",
+    )
+    args = parser.parse_args(argv)
+    result = sweep(args.smoke, args.json)
+    save_result(result, RESULTS_DIR)
+    print("\n" + result.to_text())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,7 @@ ORDER = [
     "ablation_packing",
     "ablation_pivot",
     "extra_classic_families",
+    "backend_scaling",
 ]
 
 

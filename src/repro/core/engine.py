@@ -19,13 +19,14 @@ from repro.core.config import TagMatchConfig
 from repro.core.key_table import KeyTable
 from repro.core.partition_table import PartitionTable
 from repro.core.partitioning import PartitioningResult, balanced_partition
-from repro.core.pipeline import MatchPipeline, PipelineRun
+from repro.core.pipeline import MatchPipeline, PipelineRun, grouped_key_lookup
 from repro.core.results import merge_keys
 from repro.core.staging import ConsolidatedDatabase, StagingArea
 from repro.core.tagset_table import TagsetTable
 from repro.errors import ConsolidationError, ValidationError
 from repro.gpu.device import Device
 from repro.gpu.kernels import subset_match_kernel
+from repro.parallel.backend import ExecutionBackend, create_backend
 
 __all__ = ["TagMatch", "ConsolidateReport", "MemoryUsage"]
 
@@ -81,6 +82,7 @@ class TagMatch:
         self.key_table: KeyTable | None = None
         self.partition_table: PartitionTable | None = None
         self.tagset_table: TagsetTable | None = None
+        self.backend: ExecutionBackend | None = None
         self.pipeline: MatchPipeline | None = None
         self.last_consolidate: ConsolidateReport | None = None
         self._closed = False
@@ -146,9 +148,7 @@ class TagMatch:
             thread_block_size=self.config.thread_block_size,
             replication_factor=self.config.replication_factor,
         )
-        self.pipeline = MatchPipeline(
-            self.partition_table, self.tagset_table, self.key_table, self.config
-        )
+        self._install_backend()
         self.last_consolidate = ConsolidateReport(
             num_associations=len(self._database),
             num_unique_sets=unique_blocks.shape[0],
@@ -156,6 +156,26 @@ class TagMatch:
             elapsed_s=time.perf_counter() - start,
         )
         return self.last_consolidate
+
+    def _install_backend(self) -> None:
+        """(Re)build the execution backend and pipeline after an index
+        rebuild.  The process backend publishes the fresh partitions to
+        shared memory here — once per consolidation, like the one-time
+        host→device upload of the tagset table."""
+        if self.backend is not None:
+            self.backend.close()
+        self.backend = create_backend(
+            self.config, self.tagset_table, self.partition_table
+        )
+        for device in self.devices:
+            device.attach_backend(self.backend)
+        self.pipeline = MatchPipeline(
+            self.partition_table,
+            self.tagset_table,
+            self.key_table,
+            self.config,
+            backend=self.backend,
+        )
 
     # ------------------------------------------------------------------
     # Snapshots (see repro.core.snapshot)
@@ -204,9 +224,7 @@ class TagMatch:
             thread_block_size=self.config.thread_block_size,
             replication_factor=self.config.replication_factor,
         )
-        self.pipeline = MatchPipeline(
-            self.partition_table, self.tagset_table, self.key_table, self.config
-        )
+        self._install_backend()
         self.last_consolidate = ConsolidateReport(
             num_associations=len(self._database),
             num_unique_sets=unique_blocks.shape[0],
@@ -256,7 +274,12 @@ class TagMatch:
             if self._store_tags and set_ids.size:
                 set_ids = self._exact_filter(set_ids, tag_set)
             if set_ids.size:
-                chunks.append(self.key_table.keys_of_many(set_ids))
+                # Single-query batch: every pair belongs to query 0, so
+                # this takes grouped_key_lookup's single-group fast path.
+                for _, keys in grouped_key_lookup(
+                    np.zeros(set_ids.size, dtype=np.uint8), set_ids, self.key_table
+                ):
+                    chunks.append(keys)
         return merge_keys(chunks, unique)
 
     def _exact_filter(self, set_ids: np.ndarray, query_tags: frozenset) -> np.ndarray:
@@ -349,6 +372,9 @@ class TagMatch:
         if self._closed:
             return
         self._closed = True
+        if self.backend is not None:
+            self.backend.close()
+            self.backend = None
         if self.tagset_table is not None:
             self.tagset_table.free()
         for device in self.devices:

@@ -32,13 +32,50 @@ from repro.core.results import QueryState
 from repro.core.tagset_table import TagsetTable
 from repro.errors import ReproError
 from repro.gpu.doublebuffer import CycleResult, DoubleBufferedResults
-from repro.gpu.kernels import subset_match_kernel
-from repro.gpu.packing import pack_results, unpack_results
+from repro.gpu.packing import unpack_results
 from repro.gpu.stream import Stream
+from repro.parallel.backend import ExecutionBackend, InlineBackend, KernelParams
 
-__all__ = ["MatchPipeline", "PipelineRun", "PipelineStats"]
+__all__ = ["MatchPipeline", "PipelineRun", "PipelineStats", "grouped_key_lookup"]
 
 _FEED_CHUNK = 32
+
+
+def grouped_key_lookup(
+    q_ids: np.ndarray, set_ids: np.ndarray, key_table: KeyTable
+) -> list[tuple[int, np.ndarray]]:
+    """Stage-3 lookup/reduce: keys per batch-local query id.
+
+    ``q_ids``/``set_ids`` are the parallel unpacked ``(q, s)`` pair
+    arrays of one kernel invocation; returns ``(local_q, keys)`` groups.
+    Two fast paths avoid the sort-and-split machinery on the common
+    shapes: a batch whose pairs all belong to one query (every
+    single-query ``match`` call, and any one-hot batch) skips grouping
+    entirely, and pairs already sorted by query id (kernels emit blocks
+    in query order more often than not) skip the argsort.
+    """
+    if q_ids.size == 0:
+        return []
+    first = int(q_ids[0])
+    if q_ids[0] == q_ids[-1] and not np.any(q_ids != q_ids[0]):
+        return [(first, key_table.keys_of_many(set_ids))]
+    if np.all(q_ids[:-1] <= q_ids[1:]):
+        q_sorted, sets_sorted = q_ids, set_ids
+    else:
+        order = np.argsort(q_ids, kind="stable")
+        q_sorted = q_ids[order]
+        sets_sorted = set_ids[order]
+    keys = key_table.keys_of_many(sets_sorted)
+    key_counts = key_table.counts_of_many(sets_sorted)
+    key_offsets = np.zeros(q_sorted.size + 1, dtype=np.int64)
+    np.cumsum(key_counts, out=key_offsets[1:])
+    boundaries = np.nonzero(np.diff(q_sorted))[0] + 1
+    group_starts = np.concatenate(([0], boundaries))
+    group_ends = np.concatenate((boundaries, [q_sorted.size]))
+    return [
+        (int(q_sorted[gs]), keys[key_offsets[gs] : key_offsets[ge]])
+        for gs, ge in zip(group_starts, group_ends)
+    ]
 
 
 @dataclass
@@ -55,6 +92,10 @@ class PipelineStats:
     #: Wall-clock time spent inside kernel invocations (the work a real
     #: deployment would offload to the GPUs).
     kernel_wall_s: float = 0.0
+    #: Worker-thread split of the run (Figure 5's x-axis): their sum is
+    #: exactly the ``num_threads`` the run was asked for.
+    pre_workers: int = 0
+    lookup_workers: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_batch(self, reason: str) -> None:
@@ -109,11 +150,20 @@ class MatchPipeline:
         tagset_table: TagsetTable,
         key_table: KeyTable,
         config: TagMatchConfig,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         self.partition_table = partition_table
         self.tagset_table = tagset_table
         self.key_table = key_table
         self.config = config
+        #: Where stage-2 kernels execute; the engine passes the backend
+        #: selected by ``config.backend``, direct constructions default
+        #: to inline (the historical behaviour).
+        self.backend = (
+            backend
+            if backend is not None
+            else InlineBackend(tagset_table, KernelParams.from_config(config))
+        )
 
     # ------------------------------------------------------------------
     # Public entry point
@@ -170,6 +220,8 @@ class MatchPipeline:
                 return db
 
         # ---------------- stage 2: GPU dispatch ----------------
+        backend = self.backend
+
         def dispatch(batch: Batch, reason: str) -> None:
             stats.record_batch(reason)
             residency = self.tagset_table.residency(batch.partition_id)
@@ -178,27 +230,27 @@ class MatchPipeline:
 
             def copy_in_kernel_and_push():
                 # The copy-in / kernel / result-push sequence of §3.3.2,
-                # submitted as one FIFO unit on the acquired stream.
+                # submitted as one FIFO unit on the acquired stream.  The
+                # kernel itself runs wherever the execution backend puts
+                # it (inline / thread pool / shared-memory process pool);
+                # the stream op holds the in-flight slot until the packed
+                # results are back, like a CPU thread awaiting its CUDA
+                # stream.
                 qbuf = device.htod(batch.queries, label="query-batch")
                 kernel_start = time.perf_counter()
-                result = subset_match_kernel(
-                    residency.sets.array(),
-                    residency.ids.array(),
-                    qbuf.array(),
-                    thread_block_size=self.config.thread_block_size,
-                    prefilter=self.config.prefilter,
-                    cost_model=device.cost_model,
-                    clock=device.clock,
-                    prefixes=residency.prefixes.array(),
+                result = backend.run_kernel(
+                    batch.partition_id, qbuf.array(), residency=residency
                 )
                 kernel_wall = time.perf_counter() - kernel_start
                 qbuf.free()
+                # Simulated device time is charged here, backend-agnostic:
+                # worker processes cannot reach this device's clock.
+                device.clock.add_kernel(result.simulated_time_s)
                 stats.record_kernel(
-                    result.stats.num_pairs, result.stats.simulated_time_s, kernel_wall
+                    result.num_pairs, result.simulated_time_s, kernel_wall
                 )
-                packed = pack_results(result.query_ids, result.set_ids)
                 delivered = buffer_for(stream).push(
-                    packed, result.stats.num_pairs, meta=batch.states
+                    result.packed, result.num_pairs, meta=batch.states
                 )
                 if delivered is not None:
                     completions.put(delivered)
@@ -209,15 +261,18 @@ class MatchPipeline:
             device.release_stream(stream)
 
         # ---------------- stage 1: pre-process ----------------
-        def preprocess_worker() -> None:
+        def preprocess_worker(also_lookup: bool = False) -> None:
             while True:
                 chunk = work.get()
                 if chunk is None:
                     return
                 rows = query_blocks[chunk]
                 # Vectorized Algorithm 2 over the whole chunk: one dense
-                # scan of the compact mask matrix.
-                matrix = self.partition_table.relevant_matrix(rows)
+                # scan of the compact mask matrix, optionally offloaded
+                # to the execution backend's worker pool.
+                matrix = backend.relevant_matrix(rows)
+                if matrix is None:
+                    matrix = self.partition_table.relevant_matrix(rows)
                 counts = matrix.sum(axis=1)
                 chunk_states: list[QueryState] = []
                 for local, qi in enumerate(chunk):
@@ -245,8 +300,20 @@ class MatchPipeline:
                             dispatch(full, "full")
                 for state in chunk_states:
                     state.preprocess_complete()
+                if also_lookup:
+                    drain_completions()
 
         # ---------------- stages 3+4: lookup/reduce + merge ----------------
+        def drain_completions() -> None:
+            """Non-blocking lookup/reduce sweep (single-thread mode)."""
+            while True:
+                try:
+                    item = completions.get_nowait()
+                except queue.Empty:
+                    return
+                if item is not None:
+                    self._deliver(item)
+
         def lookup_worker() -> None:
             while True:
                 item = completions.get()
@@ -263,10 +330,23 @@ class MatchPipeline:
                     dispatch(batch, "timeout")
                 self._flush_double_buffers(double_buffers, db_lock, completions)
 
-        n_pre = max(1, threads // 2)
-        n_lookup = max(1, threads - n_pre)
+        # Total workers equal the requested thread count exactly (the
+        # Figure 5 x-axis): with a single thread one worker serves both
+        # the pre-process and lookup queues instead of spawning two.
+        if threads == 1:
+            n_pre, n_lookup = 1, 0
+        else:
+            n_pre = max(1, threads // 2)
+            n_lookup = max(1, threads - n_pre)
+        stats.pre_workers = n_pre
+        stats.lookup_workers = n_lookup
         pre_threads = [
-            threading.Thread(target=preprocess_worker, daemon=True, name=f"pre-{i}")
+            threading.Thread(
+                target=preprocess_worker,
+                kwargs={"also_lookup": n_lookup == 0},
+                daemon=True,
+                name=f"pre-{i}",
+            )
             for i in range(n_pre)
         ]
         lookup_threads = [
@@ -317,6 +397,11 @@ class MatchPipeline:
         self._flush_double_buffers(double_buffers, db_lock, completions)
         for device in self.tagset_table.devices:
             device.synchronize()
+        if n_lookup == 0:
+            # Single-thread mode: every cycle is enqueued by now (both
+            # device barriers passed), so the caller thread finishes the
+            # lookup/reduce work itself.
+            drain_completions()
 
         # Wait for every query to finalize, then stop lookup workers.
         for state in states:
@@ -365,21 +450,10 @@ class MatchPipeline:
             for state in batch_states:
                 state.deliver_keys(np.empty(0, dtype=np.int64))
             return
-        order = np.argsort(q_ids, kind="stable")
-        q_sorted = q_ids[order]
-        sets_sorted = set_ids[order].astype(np.int64)
-        keys = self.key_table.keys_of_many(sets_sorted)
-        key_counts = self.key_table.counts_of_many(sets_sorted)
-        key_offsets = np.zeros(q_sorted.size + 1, dtype=np.int64)
-        np.cumsum(key_counts, out=key_offsets[1:])
-        # Split the concatenated keys at query boundaries.
-        boundaries = np.nonzero(np.diff(q_sorted))[0] + 1
-        group_starts = np.concatenate(([0], boundaries))
-        group_ends = np.concatenate((boundaries, [q_sorted.size]))
         seen = np.zeros(len(batch_states), dtype=bool)
-        for gs, ge in zip(group_starts, group_ends):
-            local_q = int(q_sorted[gs])
-            chunk = keys[key_offsets[gs] : key_offsets[ge]]
+        for local_q, chunk in grouped_key_lookup(
+            q_ids, set_ids.astype(np.int64), self.key_table
+        ):
             batch_states[local_q].deliver_keys(chunk)
             seen[local_q] = True
         for local_q in np.nonzero(~seen)[0]:

@@ -128,6 +128,22 @@ class TagsetTable:
         self._round_robin = (self._round_robin + 1) % len(homes)
         return homes[self._round_robin]
 
+    def host_partition_arrays(
+        self,
+    ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Host views of every partition's sorted ``(sets, ids, prefixes)``.
+
+        Used by the process execution backend to publish the consolidated
+        partitions into shared memory exactly once — the host-side
+        analogue of this table's one-time device upload.  Views come from
+        the first residency copy; they stay valid until :meth:`free`.
+        """
+        out = []
+        for homes in self._residency:
+            home = homes[0]
+            out.append((home.sets.array(), home.ids.array(), home.prefixes.array()))
+        return out
+
     @property
     def gpu_bytes(self) -> int:
         """Total device memory held by the table (Figure 9's GPU bars)."""

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Any, Callable
 
 from repro.errors import StreamError
@@ -66,6 +67,13 @@ class Stream:
         self._queue: queue.Queue[StreamOp | None] = queue.Queue()
         self._closed = False
         self._lock = threading.Lock()
+        #: Occupancy counters: ops submitted/finished and wall time spent
+        #: executing them.  With an offloading backend ``busy_s`` is the
+        #: time this stream's in-flight slot was held by kernel work —
+        #: the host analogue of per-stream GPU utilisation.
+        self.ops_enqueued = 0
+        self.ops_completed = 0
+        self.busy_s = 0.0
         self._worker = threading.Thread(
             target=self._drain,
             name=f"gpu{getattr(device, 'device_id', '?')}-stream{stream_id}",
@@ -78,7 +86,10 @@ class Stream:
             op = self._queue.get()
             if op is None:
                 return
+            start = time.perf_counter()
             op.run()
+            self.busy_s += time.perf_counter() - start
+            self.ops_completed += 1
 
     def enqueue(self, fn: Callable[[], Any], label: str = "op") -> StreamOp:
         """Submit ``fn`` for asynchronous FIFO execution on this stream."""
@@ -86,8 +97,14 @@ class Stream:
             if self._closed:
                 raise StreamError(f"enqueue on closed stream {self.stream_id}")
             op = StreamOp(fn, label)
+            self.ops_enqueued += 1
             self._queue.put(op)
             return op
+
+    @property
+    def depth(self) -> int:
+        """Ops submitted but not yet finished (approximate, diagnostic)."""
+        return max(0, self.ops_enqueued - self.ops_completed)
 
     def synchronize(self, timeout: float | None = None) -> None:
         """Block until every operation enqueued so far has completed."""

@@ -1,0 +1,36 @@
+"""Execution backends: where the matching stages' compute actually runs.
+
+See :mod:`repro.parallel.backend` for the inline/thread/process backend
+model, :mod:`repro.parallel.shm_store` for the one-time shared-memory
+partition upload, and :mod:`repro.parallel.pool` for the health-checked
+worker pool.
+"""
+
+from repro.parallel.backend import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    InlineBackend,
+    KernelOutput,
+    KernelParams,
+    ProcessBackend,
+    ThreadBackend,
+    create_backend,
+)
+from repro.parallel.pool import PoolTask, ShmProcessPool
+from repro.parallel.shm_store import SharedArrayStore, StoreManifest, attach_views
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "KernelParams",
+    "KernelOutput",
+    "create_backend",
+    "ShmProcessPool",
+    "PoolTask",
+    "SharedArrayStore",
+    "StoreManifest",
+    "attach_views",
+]

@@ -1,0 +1,297 @@
+"""Pluggable execution backends for the kernel and pre-process stages.
+
+The paper gets its throughput from running the four pipeline stages
+concurrently across 24 CPU threads and 20 GPU streams (§3.3.2, Figure 5).
+The reproduction's streams are host threads, so every
+``subset_match_kernel`` call used to execute inline under the GIL — the
+whole machine collapsed onto one core.  A backend decides *where* the
+numeric work of stage 2 (and optionally stage 1) actually runs:
+
+``inline``
+    In the calling stream thread, exactly the seed behaviour.
+``thread``
+    On a shared ``ThreadPoolExecutor``.  NumPy releases the GIL inside
+    large vector ops, so this overlaps some compute, but short kernels
+    remain GIL-bound (see DESIGN.md).
+``process``
+    On a persistent :class:`~repro.parallel.pool.ShmProcessPool` whose
+    workers hold zero-copy views of the consolidated partitions through
+    shared memory — genuine multi-core execution, the closest host-side
+    analogue of the paper's GPU offload.
+
+Every backend returns the same compact :class:`KernelOutput`
+(``packed bytes + pair count + simulated device time``), which feeds the
+existing double-buffer path unchanged; the caller charges the simulated
+time to its device clock so accounting is backend-independent.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BackendError
+from repro.gpu.kernels import subset_match_kernel
+from repro.gpu.packing import pack_results
+from repro.gpu.timing import CostModel
+from repro.parallel.pool import ShmProcessPool
+from repro.parallel.shm_store import SharedArrayStore
+
+__all__ = [
+    "BACKEND_NAMES",
+    "KernelParams",
+    "KernelOutput",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "create_backend",
+]
+
+BACKEND_NAMES = ("inline", "thread", "process")
+
+#: Stream threads block at most this long on an offloaded kernel; it
+#: covers a worker crash plus respawn with a wide margin.
+_KERNEL_TIMEOUT_S = 120.0
+
+
+@dataclass(frozen=True)
+class KernelParams:
+    """The kernel-shape knobs a worker needs (picklable config subset)."""
+
+    thread_block_size: int
+    prefilter: bool
+    cost_model: CostModel
+
+    @classmethod
+    def from_config(cls, config) -> "KernelParams":
+        return cls(
+            thread_block_size=config.thread_block_size,
+            prefilter=config.prefilter,
+            cost_model=config.cost_model,
+        )
+
+
+@dataclass
+class KernelOutput:
+    """One kernel invocation's result in wire format.
+
+    ``packed`` is the §3.3.1 packed pair buffer — the same bytes a GPU
+    would DMA back — so it drops straight into the double-buffer push.
+    """
+
+    packed: np.ndarray
+    num_pairs: int
+    simulated_time_s: float
+
+
+class ExecutionBackend:
+    """Where stage-2 kernels (and optionally stage-1 scans) execute."""
+
+    name: str = "abstract"
+
+    def run_kernel(
+        self, partition_id: int, queries: np.ndarray, residency=None
+    ) -> KernelOutput:
+        """Match one query batch against one partition (blocking)."""
+        raise NotImplementedError
+
+    def relevant_matrix(self, queries: np.ndarray) -> np.ndarray | None:
+        """Offloaded stage-1 pre-process, or ``None`` if not supported
+        (the pipeline then scans the partition table in-thread)."""
+        return None
+
+    @property
+    def workers(self) -> int:
+        """Concurrent compute lanes this backend provides."""
+        return 1
+
+    def close(self) -> None:
+        """Release pools/segments; the backend is unusable afterwards."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _LocalKernel:
+    """Shared in-process kernel invocation for inline/thread backends."""
+
+    def __init__(self, tagset_table, params: KernelParams) -> None:
+        self._table = tagset_table
+        self._params = params
+
+    def _compute(self, partition_id: int, queries: np.ndarray, residency) -> KernelOutput:
+        if residency is None:
+            residency = self._table.residency(partition_id)
+        result = subset_match_kernel(
+            residency.sets.array(),
+            residency.ids.array(),
+            queries,
+            thread_block_size=self._params.thread_block_size,
+            prefilter=self._params.prefilter,
+            cost_model=self._params.cost_model,
+            clock=None,
+            prefixes=residency.prefixes.array(),
+        )
+        packed = pack_results(result.query_ids, result.set_ids)
+        return KernelOutput(
+            packed=packed,
+            num_pairs=result.stats.num_pairs,
+            simulated_time_s=result.stats.simulated_time_s,
+        )
+
+
+class InlineBackend(_LocalKernel, ExecutionBackend):
+    """Execute kernels synchronously in the calling stream thread."""
+
+    name = "inline"
+
+    def run_kernel(self, partition_id, queries, residency=None) -> KernelOutput:
+        return self._compute(partition_id, queries, residency)
+
+
+class ThreadBackend(_LocalKernel, ExecutionBackend):
+    """Execute kernels on a shared thread pool (GIL caveat applies)."""
+
+    name = "thread"
+
+    def __init__(self, tagset_table, params: KernelParams, workers: int) -> None:
+        super().__init__(tagset_table, params)
+        if workers <= 0:
+            raise BackendError("thread backend needs at least one worker")
+        self._workers = workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="backend"
+        )
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def run_kernel(self, partition_id, queries, residency=None) -> KernelOutput:
+        future = self._executor.submit(self._compute, partition_id, queries, residency)
+        return future.result(timeout=_KERNEL_TIMEOUT_S)
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Execute kernels on a shared-memory process pool.
+
+    Partitions are serialised exactly once into shared memory at
+    construction (consolidation) time, mirroring the paper's one-time
+    host→device upload; per batch only the query block travels to a
+    worker and only the packed result buffer travels back.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        tagset_table,
+        params: KernelParams,
+        workers: int,
+        partition_table=None,
+        preprocess: bool = False,
+        start_method: str | None = None,
+    ) -> None:
+        arrays: dict[str, np.ndarray] = {}
+        for pid, (sets, ids, prefixes) in enumerate(
+            tagset_table.host_partition_arrays()
+        ):
+            arrays[f"p{pid}/sets"] = sets
+            arrays[f"p{pid}/ids"] = ids
+            arrays[f"p{pid}/prefixes"] = prefixes
+        self._preprocess = bool(preprocess and partition_table is not None)
+        if self._preprocess:
+            arrays["pt/masks"] = partition_table.dense_masks
+        self.store = SharedArrayStore(arrays)
+        try:
+            self.pool = ShmProcessPool(
+                workers, self.store.manifest, params, start_method=start_method
+            )
+        except BaseException:
+            self.store.close()
+            raise
+
+    @property
+    def workers(self) -> int:
+        return self.pool.num_workers
+
+    def run_kernel(self, partition_id, queries, residency=None) -> KernelOutput:
+        task = self.pool.submit("kernel", (partition_id, np.ascontiguousarray(queries)))
+        packed_bytes, num_pairs, simulated = task.wait(timeout=_KERNEL_TIMEOUT_S)
+        return KernelOutput(
+            packed=np.frombuffer(packed_bytes, dtype=np.uint8),
+            num_pairs=num_pairs,
+            simulated_time_s=simulated,
+        )
+
+    def relevant_matrix(self, queries: np.ndarray) -> np.ndarray | None:
+        if not self._preprocess:
+            return None
+        task = self.pool.submit("preprocess", np.ascontiguousarray(queries))
+        bits, shape = task.wait(timeout=_KERNEL_TIMEOUT_S)
+        flat = np.unpackbits(np.frombuffer(bits, dtype=np.uint8), count=shape[0] * shape[1])
+        return flat.reshape(shape).astype(bool)
+
+    def close(self) -> None:
+        self.pool.close()
+        self.store.close()
+
+
+def create_backend(config, tagset_table, partition_table=None) -> ExecutionBackend:
+    """Build the backend selected by ``config.backend``.
+
+    Degrades gracefully: a ``process`` request on a single-core host
+    (unless the worker count was pinned explicitly via
+    ``config.backend_workers``) or a pool that fails to spawn falls back
+    to the ``thread`` backend with a warning rather than failing the
+    consolidation.
+    """
+    params = KernelParams.from_config(config)
+    choice = config.backend
+    if choice == "inline":
+        return InlineBackend(tagset_table, params)
+
+    workers = config.backend_workers or max(1, (os.cpu_count() or 1) - 1)
+    if choice == "thread":
+        return ThreadBackend(tagset_table, params, workers)
+
+    if choice == "process":
+        cores = os.cpu_count() or 1
+        if cores <= 1 and config.backend_workers is None:
+            warnings.warn(
+                "process backend requested on a single-core host; "
+                "falling back to the thread backend "
+                "(set backend_workers explicitly to force a pool)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return ThreadBackend(tagset_table, params, workers)
+        try:
+            return ProcessBackend(
+                tagset_table,
+                params,
+                workers,
+                partition_table=partition_table,
+                preprocess=config.process_preprocess,
+            )
+        except Exception as exc:
+            warnings.warn(
+                f"process pool failed to spawn ({exc}); "
+                "falling back to the thread backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return ThreadBackend(tagset_table, params, workers)
+
+    raise BackendError(f"unknown backend {choice!r}; expected one of {BACKEND_NAMES}")

@@ -1,0 +1,391 @@
+"""Persistent shared-memory process pool for the matching stages.
+
+The pool plays the role the GPU plays in the paper: a fixed set of
+long-lived compute workers that received the tagset table once (here:
+mapped the :mod:`repro.parallel.shm_store` segment at spawn time) and
+afterwards only exchange small query batches and compact packed results
+with the host threads (§3.3).  Stream workers block on a
+:class:`PoolTask` exactly like a CPU thread blocks on a CUDA stream.
+
+Transport is one duplex pipe per worker rather than a shared
+``multiprocessing.Queue``: a shared queue guards its fd with
+cross-process locks, and a worker SIGKILLed mid-``get`` takes the lock
+down with it, wedging every other worker.  Per-worker pipes confine a
+crash to the crashed worker, and because the parent knows exactly which
+tasks it sent down which pipe, a respawn resubmits precisely the dead
+worker's unfinished tasks.  Workers are pure functions of (shared
+store, task payload), so re-execution is always safe; the rare result
+that raced its worker's death into the pipe is de-duplicated by task id.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import os
+import signal
+import threading
+import time
+from multiprocessing import connection
+from typing import Any
+
+import numpy as np
+
+from repro.errors import BackendError
+from repro.parallel.shm_store import StoreManifest, attach_views
+
+__all__ = ["PoolTask", "ShmProcessPool", "default_start_method"]
+
+#: Tag used by workers to announce a successful start-up.
+_READY = "__ready__"
+
+#: How often the monitor thread polls worker liveness.
+_HEALTH_INTERVAL_S = 0.05
+
+#: How long to wait for freshly spawned workers to map the store.
+_SPAWN_TIMEOUT_S = 60.0
+
+
+def default_start_method() -> str:
+    """Pick the safest available start method for pool workers.
+
+    ``fork`` is out: the engine runs stream threads at consolidation
+    time and forking a multi-threaded process is unsound.  Both
+    ``forkserver`` and ``spawn`` re-import ``__main__``, so scripts (not
+    libraries) must use the standard ``if __name__ == "__main__"``
+    guard; ``forkserver`` is preferred where available because children
+    fork from a clean single-threaded server.
+    """
+    methods = mp.get_all_start_methods()
+    return "forkserver" if "forkserver" in methods else "spawn"
+
+
+def _execute_task(kind: str, payload: Any, views: dict[str, np.ndarray], params) -> Any:
+    """Run one task against the shared views (worker side)."""
+    from repro.bloom.ops import containment_matrix
+    from repro.gpu.kernels import subset_match_kernel
+    from repro.gpu.packing import pack_results
+
+    if kind == "kernel":
+        partition_id, queries = payload
+        result = subset_match_kernel(
+            views[f"p{partition_id}/sets"],
+            views[f"p{partition_id}/ids"],
+            queries,
+            thread_block_size=params.thread_block_size,
+            prefilter=params.prefilter,
+            cost_model=params.cost_model,
+            clock=None,
+            prefixes=views[f"p{partition_id}/prefixes"],
+        )
+        packed = pack_results(result.query_ids, result.set_ids)
+        return (packed.tobytes(), result.stats.num_pairs, result.stats.simulated_time_s)
+    if kind == "preprocess":
+        queries = payload
+        matrix = containment_matrix(views["pt/masks"], queries).T
+        return (np.packbits(matrix).tobytes(), matrix.shape)
+    if kind == "ping":
+        return "pong"
+    if kind == "sleep":  # deliberate stall, used by the crash-injection tests
+        time.sleep(float(payload))
+        return float(payload)
+    raise BackendError(f"unknown pool task kind {kind!r}")
+
+
+def _worker_main(slot: int, manifest: StoreManifest, params, conn) -> None:
+    """Entry point of one pool worker process."""
+    shm, views = attach_views(manifest)
+    conn.send((_READY, slot, os.getpid()))
+    try:
+        while True:
+            task = conn.recv()
+            if task is None:
+                return
+            task_id, kind, payload = task
+            try:
+                out = _execute_task(kind, payload, views, params)
+            except BaseException as exc:  # noqa: BLE001 - shipped to the host
+                conn.send((task_id, False, f"{type(exc).__name__}: {exc}"))
+            else:
+                conn.send((task_id, True, out))
+    except EOFError:  # parent went away
+        pass
+    finally:
+        shm.close()
+
+
+class PoolTask:
+    """Future for one submitted task; ``wait()`` mirrors ``StreamOp``."""
+
+    def __init__(self, task_id: int, kind: str, payload: Any) -> None:
+        self.task_id = task_id
+        self.kind = kind
+        self.payload = payload
+        #: Worker slot the task was last dispatched to (respawn bookkeeping).
+        self.slot: int | None = None
+        self._done = threading.Event()
+        self._result: Any = None
+        self._error: str | None = None
+
+    def resolve(self, ok: bool, out: Any) -> None:
+        if ok:
+            self._result = out
+        else:
+            self._error = str(out)
+        self._done.set()
+
+    def wait(self, timeout: float | None = None) -> Any:
+        if not self._done.wait(timeout):
+            raise BackendError(f"timed out waiting for pool task {self.kind!r}")
+        if self._error is not None:
+            raise BackendError(f"pool task {self.kind!r} failed: {self._error}")
+        return self._result
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+
+class ShmProcessPool:
+    """Fixed-size pool of workers over one shared store, one pipe each.
+
+    Workers are persistent, so the spawn cost is paid once per
+    consolidation, like the paper's host→device upload.  A monitor
+    thread health-checks them and respawns any that die, resubmitting
+    the dead worker's in-flight tasks to the survivors.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        manifest: StoreManifest,
+        params,
+        start_method: str | None = None,
+        spawn_timeout_s: float = _SPAWN_TIMEOUT_S,
+    ) -> None:
+        if num_workers <= 0:
+            raise BackendError("num_workers must be positive")
+        self.num_workers = num_workers
+        self._manifest = manifest
+        self._params = params
+        self._ctx = mp.get_context(start_method or default_start_method())
+        self._inflight: dict[int, PoolTask] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count()
+        self._closed = False
+        self._stop = threading.Event()
+        self.respawns = 0
+
+        self.workers: list[mp.process.BaseProcess] = []
+        self._conns: list[Any] = []  # parent-side pipe ends
+        self._send_locks: list[threading.Lock] = []
+        self._outstanding: list[int] = []
+        try:
+            for slot in range(num_workers):
+                proc, conn = self._spawn(slot)
+                self.workers.append(proc)
+                self._conns.append(conn)
+                self._send_locks.append(threading.Lock())
+                self._outstanding.append(0)
+            self._await_ready(num_workers, spawn_timeout_s)
+        except BaseException:
+            self._terminate_all()
+            raise
+
+        self._collector = threading.Thread(
+            target=self._collect, name="shm-pool-collector", daemon=True
+        )
+        self._monitor = threading.Thread(
+            target=self._watch, name="shm-pool-monitor", daemon=True
+        )
+        self._collector.start()
+        self._monitor.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, payload: Any = None) -> PoolTask:
+        """Dispatch one task to the least-loaded live worker."""
+        with self._lock:
+            if self._closed:
+                raise BackendError("submit on a closed pool")
+            task = PoolTask(next(self._ids), kind, payload)
+            self._inflight[task.task_id] = task
+        self._dispatch(task)
+        return task
+
+    def _dispatch(self, task: PoolTask) -> None:
+        with self._lock:
+            live = [s for s in range(self.num_workers) if self.workers[s].is_alive()]
+            pool = live if live else list(range(self.num_workers))
+            slot = min(pool, key=lambda s: self._outstanding[s])
+            task.slot = slot
+            self._outstanding[slot] += 1
+        try:
+            with self._send_locks[slot]:
+                self._conns[slot].send((task.task_id, task.kind, task.payload))
+        except (BrokenPipeError, OSError):
+            # The worker died under us.  Leave task.slot pointing at the
+            # dead slot: the monitor resubmits it right after the respawn.
+            pass
+
+    def ping(self, timeout: float = 10.0) -> None:
+        """Round-trip health probe (raises if the pool is wedged)."""
+        self.submit("ping").wait(timeout)
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, slot: int):
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(slot, self._manifest, self._params, child_conn),
+            name=f"shm-pool-worker-{slot}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # parent keeps only its own end
+        return proc, parent_conn
+
+    def _await_ready(self, count: int, timeout_s: float) -> None:
+        deadline = time.perf_counter() + timeout_s
+        pending = set(range(count))
+        while pending:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                raise BackendError(
+                    f"{len(pending)}/{count} pool workers failed to come up "
+                    f"within {timeout_s:.0f}s"
+                )
+            ready_conns = connection.wait(
+                [self._conns[s] for s in pending], timeout=min(remaining, 0.25)
+            )
+            for conn in ready_conns:
+                slot = self._conns.index(conn)
+                try:
+                    item = conn.recv()
+                except (EOFError, OSError):
+                    item = None
+                if item and item[0] == _READY:
+                    pending.discard(slot)
+            # Fail fast if a worker died before announcing readiness
+            # (import error, missing /dev/shm, ...) instead of sitting
+            # out the whole spawn timeout.
+            dead = [s for s in pending if self.workers[s].exitcode is not None]
+            if dead:
+                raise BackendError(
+                    f"{len(dead)} pool worker(s) died during start-up "
+                    f"(exitcodes {[self.workers[s].exitcode for s in dead]})"
+                )
+
+    def _watch(self) -> None:
+        """Health-check loop: respawn dead workers, resubmit their work."""
+        while not self._stop.wait(_HEALTH_INTERVAL_S):
+            for slot in range(self.num_workers):
+                proc = self.workers[slot]
+                if proc.is_alive() or self._stop.is_set():
+                    continue
+                proc.join(timeout=0)
+                old_conn = self._conns[slot]
+                new_proc, new_conn = self._spawn(slot)
+                with self._lock:
+                    self.workers[slot] = new_proc
+                    self._conns[slot] = new_conn
+                    self._outstanding[slot] = 0
+                    orphans = [
+                        t for t in self._inflight.values() if t.slot == slot
+                    ]
+                self.respawns += 1
+                old_conn.close()
+                # Only the dead worker's tasks need to run again; anything
+                # that raced a result into the old pipe before the crash
+                # is simply recomputed (workers are pure) and the
+                # collector drops the duplicate by task id.
+                for task in orphans:
+                    self._dispatch(task)
+
+    def _collect(self) -> None:
+        while not self._stop.is_set():
+            with self._lock:
+                conns = list(self._conns)
+            for conn in connection.wait(conns, timeout=0.1):
+                try:
+                    item = conn.recv()
+                except (EOFError, OSError):
+                    continue  # dead worker; the monitor handles it
+                if not item or item[0] == _READY:
+                    continue
+                task_id, ok, out = item
+                with self._lock:
+                    task = self._inflight.pop(task_id, None)
+                    if task is not None and task.slot is not None:
+                        self._outstanding[task.slot] = max(
+                            0, self._outstanding[task.slot] - 1
+                        )
+                if task is not None:  # duplicates after a respawn are None
+                    task.resolve(ok, out)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def kill_worker(self, slot: int) -> int:
+        """SIGKILL one worker (crash-injection hook for tests).
+
+        Returns the killed pid; the monitor thread respawns the slot.
+        """
+        proc = self.workers[slot]
+        pid = proc.pid
+        assert pid is not None
+        os.kill(pid, signal.SIGKILL)
+        return pid
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Stop monitor + collector, drain and join the workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._stop.set()
+        for thread_name in ("_monitor", "_collector"):
+            thread = getattr(self, thread_name, None)
+            if thread is not None and thread.is_alive():
+                thread.join(timeout=timeout_s)
+        for slot in range(len(self.workers)):
+            try:
+                with self._send_locks[slot]:
+                    self._conns[slot].send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.perf_counter() + timeout_s
+        for proc in self.workers:
+            proc.join(timeout=max(0.1, deadline - time.perf_counter()))
+        self._terminate_all()
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        # Fail anything still unresolved so waiters do not hang.
+        with self._lock:
+            orphans = list(self._inflight.values())
+            self._inflight.clear()
+        for task in orphans:
+            task.resolve(False, "pool closed")
+
+    def _terminate_all(self) -> None:
+        for proc in self.workers:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+
+    def __enter__(self) -> "ShmProcessPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,161 @@
+"""Shared-memory partition store for the process execution backend.
+
+The paper uploads the consolidated tagset table to device memory exactly
+once, at consolidation time; every batch afterwards only moves a small
+query block and a compact result buffer over the bus (§3.3).  The process
+backend mirrors that contract on the host: all partition arrays are
+serialised once into a single ``multiprocessing.shared_memory`` segment
+and every pool worker maps zero-copy NumPy views over it, so per-batch
+IPC carries only the query batch and the packed ``(q, s)`` results —
+never the (potentially multi-GB) tagset table.
+
+The segment layout is described by a picklable :class:`StoreManifest`
+(segment name + per-array key/offset/shape/dtype), which is the only
+thing shipped to worker processes at spawn time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import BackendError
+
+__all__ = ["ArraySpec", "StoreManifest", "SharedArrayStore", "attach_views"]
+
+#: Arrays are aligned to cache-line boundaries inside the segment.
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Location of one array inside the shared segment (picklable)."""
+
+    key: str
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class StoreManifest:
+    """Everything a worker needs to map the store: name + array specs."""
+
+    shm_name: str
+    total_bytes: int
+    specs: tuple[ArraySpec, ...]
+
+    def keys(self) -> list[str]:
+        return [spec.key for spec in self.specs]
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedArrayStore:
+    """Owner side: one shared segment holding many named arrays.
+
+    The owner process creates and eventually unlinks the segment; workers
+    attach read-only views through :func:`attach_views`.  Contents are
+    immutable after construction — partition tables only change at
+    consolidation, at which point the engine builds a fresh store.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray]) -> None:
+        specs: list[ArraySpec] = []
+        offset = 0
+        contiguous = {key: np.ascontiguousarray(arr) for key, arr in arrays.items()}
+        for key, arr in contiguous.items():
+            offset = _aligned(offset)
+            specs.append(
+                ArraySpec(
+                    key=key,
+                    # Size-0 arrays point at the segment start: any offset
+                    # is valid for them and 0 never exceeds the buffer.
+                    offset=offset if arr.nbytes else 0,
+                    shape=tuple(arr.shape),
+                    dtype=arr.dtype.str,
+                )
+            )
+            offset += arr.nbytes
+        total = max(offset, 1)
+        try:
+            self._shm = shared_memory.SharedMemory(create=True, size=total)
+        except OSError as exc:  # pragma: no cover - host without /dev/shm
+            raise BackendError(f"could not create shared memory segment: {exc}") from exc
+        self.manifest = StoreManifest(
+            shm_name=self._shm.name, total_bytes=total, specs=tuple(specs)
+        )
+        for spec, arr in zip(specs, contiguous.values()):
+            if not arr.nbytes:
+                continue
+            view = np.ndarray(
+                spec.shape, dtype=spec.dtype, buffer=self._shm.buf, offset=spec.offset
+            )
+            view[...] = arr
+        self._closed = False
+
+    @property
+    def nbytes(self) -> int:
+        return self.manifest.total_bytes
+
+    def views(self) -> dict[str, np.ndarray]:
+        """Owner-side views (used by tests to assert zero-copy sharing)."""
+        if self._closed:
+            raise BackendError("shared array store is closed")
+        return _views_over(self._shm, self.manifest)
+
+    def close(self) -> None:
+        """Unmap and unlink the segment (owner only; idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> "SharedArrayStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _views_over(
+    shm: shared_memory.SharedMemory, manifest: StoreManifest
+) -> dict[str, np.ndarray]:
+    return {
+        spec.key: np.ndarray(
+            spec.shape, dtype=spec.dtype, buffer=shm.buf, offset=spec.offset
+        )
+        for spec in manifest.specs
+    }
+
+
+def attach_views(
+    manifest: StoreManifest,
+) -> tuple[shared_memory.SharedMemory, dict[str, np.ndarray]]:
+    """Worker side: map the segment and return zero-copy array views.
+
+    The caller keeps the returned ``SharedMemory`` object alive for as
+    long as the views are used and ``close()``\\ s it on exit.  On
+    CPython < 3.13 attaching registers the name with the resource
+    tracker too; pool workers share the owner's tracker process (the
+    tracker fd travels with spawn/forkserver start-up data) and its
+    cache is a set, so the extra register is a harmless no-op — do NOT
+    "fix" it by unregistering here, which would drop the owner's own
+    registration and break the owner-side unlink.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=manifest.shm_name)
+    except FileNotFoundError as exc:
+        raise BackendError(
+            f"shared memory segment {manifest.shm_name!r} is gone "
+            "(owner closed the store?)"
+        ) from exc
+    return shm, _views_over(shm, manifest)

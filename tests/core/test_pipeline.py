@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.config import TagMatchConfig
 from repro.core.engine import TagMatch
+from repro.core.pipeline import grouped_key_lookup
 
 
 def build_engine(**overrides):
@@ -89,6 +90,20 @@ class TestCorrectness:
         for row, result in zip(tag_sets, run.results):
             assert sorted(result.tolist()) == sorted(eng.match(row).tolist())
 
+    @pytest.mark.parametrize(
+        ("threads", "pre", "lookup"),
+        [(1, 1, 0), (2, 1, 1), (3, 1, 2), (8, 4, 4)],
+    )
+    def test_worker_accounting_matches_num_threads(self, built, threads, pre, lookup):
+        """Total host workers equals num_threads (§4.3.3 thread sweep);
+        with one thread a single worker serves both queues."""
+        eng, tags, rng = built
+        qs = eng.encode_queries(make_queries(tags, rng, n=16))
+        run = eng.match_stream(qs, num_threads=threads)
+        assert run.stats.pre_workers == pre
+        assert run.stats.lookup_workers == lookup
+        assert run.stats.pre_workers + run.stats.lookup_workers == threads
+
 
 class TestStatsAndLatency:
     def test_throughput_and_latency_reported(self, built):
@@ -151,3 +166,36 @@ class TestScaleAndStress:
         r2 = eng.match_stream(qs)
         for a, b in zip(r1.results, r2.results):
             assert sorted(a.tolist()) == sorted(b.tolist())
+
+
+class TestGroupedKeyLookup:
+    """Stage-3 grouping, including its single-query / pre-sorted fast paths."""
+
+    def _reference(self, key_table, q_ids, set_ids):
+        out = []
+        for q in np.unique(q_ids):
+            mask = q_ids == q
+            out.append((int(q), key_table.keys_of_many(set_ids[mask]).tolist()))
+        return out
+
+    def _check(self, built, q_ids, set_ids):
+        eng, _, _ = built
+        q_ids = np.asarray(q_ids, dtype=np.uint32)
+        set_ids = np.asarray(set_ids, dtype=np.int64)
+        got = [
+            (int(q), keys.tolist())
+            for q, keys in grouped_key_lookup(q_ids, set_ids, eng.key_table)
+        ]
+        assert got == self._reference(eng.key_table, q_ids, set_ids)
+
+    def test_single_query_fast_path(self, built):
+        self._check(built, [3, 3, 3, 3], [0, 5, 2, 5])
+
+    def test_already_sorted_fast_path(self, built):
+        self._check(built, [0, 0, 1, 4, 4, 4], [7, 1, 3, 0, 2, 2])
+
+    def test_unsorted_general_path(self, built):
+        self._check(built, [4, 0, 4, 1, 0], [2, 7, 0, 3, 1])
+
+    def test_single_pair(self, built):
+        self._check(built, [9], [4])

@@ -1,0 +1,217 @@
+"""Backend equivalence: inline, thread and process must agree exactly.
+
+The execution backend only decides *where* stage-2 kernels run; the
+(q, s) pairs, key lookups and merge order are backend-invariant.  These
+tests pin that contract: every backend returns the identical per-query
+key multiset from ``match``/``match_stream`` and the identical ordered
+key set from ``match_unique``.
+"""
+
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import TagMatchConfig
+from repro.core.engine import TagMatch
+from repro.errors import BackendError, ValidationError
+from repro.parallel import backend as backend_mod
+from repro.parallel.backend import create_backend
+from repro.parallel.shm_store import SharedArrayStore, attach_views
+
+NUM_TAGS = 48
+BACKENDS = ("inline", "thread", "process")
+
+
+def _tags(indices) -> set[str]:
+    return {f"tag-{i}" for i in indices}
+
+
+def _build(backend: str) -> TagMatch:
+    cfg = TagMatchConfig(
+        max_partition_size=16,
+        batch_size=8,
+        batch_timeout_s=0.01,
+        num_threads=2,
+        backend=backend,
+        # Pin the worker count: on single-core CI hosts create_backend
+        # would otherwise downgrade "process" to "thread" and these
+        # tests would silently stop covering the pool.
+        backend_workers=None if backend == "inline" else 2,
+    )
+    engine = TagMatch(cfg)
+    rng = np.random.default_rng(7)
+    for key in range(240):
+        size = int(rng.integers(1, 6))
+        chosen = rng.choice(NUM_TAGS, size=size, replace=False)
+        # key % 100 gives some sets duplicate keys => multiset semantics
+        # in match() actually get exercised.
+        engine.add_set(_tags(chosen), key=key % 100)
+    engine.consolidate()
+    return engine
+
+
+@pytest.fixture(scope="module")
+def engines():
+    built = {}
+    with warnings.catch_warnings():
+        # A fallback warning here would mean the process engine is not
+        # actually a process engine; fail loudly instead.
+        warnings.simplefilter("error", RuntimeWarning)
+        for name in BACKENDS:
+            built[name] = _build(name)
+    yield built
+    for engine in built.values():
+        engine.close()
+
+
+query_strategy = st.sets(st.integers(0, NUM_TAGS - 1), min_size=1, max_size=12)
+
+
+class TestBackendSelection:
+    def test_each_engine_runs_its_requested_backend(self, engines):
+        for name in BACKENDS:
+            assert engines[name].backend.name == name
+
+    def test_process_pool_shape(self, engines):
+        backend = engines["process"].backend
+        assert backend.workers == 2
+        assert len(backend.pool.workers) == 2
+        assert all(proc.is_alive() for proc in backend.pool.workers)
+
+    def test_devices_see_the_backend(self, engines):
+        for name in BACKENDS:
+            engine = engines[name]
+            assert all(d.backend is engine.backend for d in engine.devices)
+
+
+class TestEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(q=query_strategy)
+    def test_match_and_match_unique_identical(self, engines, q):
+        tags = _tags(q)
+        base = sorted(engines["inline"].match(tags).tolist())
+        base_unique = engines["inline"].match_unique(tags).tolist()
+        for name in ("thread", "process"):
+            assert sorted(engines[name].match(tags).tolist()) == base
+            assert engines[name].match_unique(tags).tolist() == base_unique
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        queries=st.lists(query_strategy, min_size=1, max_size=10),
+    )
+    def test_stream_key_multisets_identical(self, engines, queries):
+        blocks = engines["inline"].encode_queries([_tags(q) for q in queries])
+        base_run = engines["inline"].match_stream(blocks)
+        base = [sorted(r.tolist()) for r in base_run.results]
+        for name in ("thread", "process"):
+            run = engines[name].match_stream(blocks)
+            assert [sorted(r.tolist()) for r in run.results] == base
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        queries=st.lists(query_strategy, min_size=1, max_size=8),
+    )
+    def test_stream_unique_sets_identical(self, engines, queries):
+        blocks = engines["inline"].encode_queries([_tags(q) for q in queries])
+        base_run = engines["inline"].match_stream(blocks, unique=True)
+        base = [r.tolist() for r in base_run.results]
+        for name in ("thread", "process"):
+            run = engines[name].match_stream(blocks, unique=True)
+            assert [r.tolist() for r in run.results] == base
+
+    def test_process_preprocess_offload_identical(self, engines):
+        """Stage-1 offload (process_preprocess=True) changes nothing."""
+        cfg = TagMatchConfig(
+            max_partition_size=16,
+            batch_size=8,
+            batch_timeout_s=0.01,
+            num_threads=2,
+            backend="process",
+            backend_workers=2,
+            process_preprocess=True,
+        )
+        engine = TagMatch(cfg)
+        rng = np.random.default_rng(7)
+        for key in range(240):
+            size = int(rng.integers(1, 6))
+            chosen = rng.choice(NUM_TAGS, size=size, replace=False)
+            engine.add_set(_tags(chosen), key=key % 100)
+        engine.consolidate()
+        try:
+            rng2 = np.random.default_rng(21)
+            tag_sets = [
+                _tags(rng2.choice(NUM_TAGS, size=9, replace=False)) for _ in range(30)
+            ]
+            blocks = engine.encode_queries(tag_sets)
+            base = [sorted(r.tolist()) for r in engines["inline"].match_stream(blocks).results]
+            got = [sorted(r.tolist()) for r in engine.match_stream(blocks).results]
+            assert got == base
+        finally:
+            engine.close()
+
+
+class TestGracefulDegradation:
+    def test_single_core_host_falls_back_to_thread(self, engines, monkeypatch):
+        monkeypatch.setattr(backend_mod.os, "cpu_count", lambda: 1)
+        cfg = TagMatchConfig(backend="process")  # no explicit worker count
+        with pytest.warns(RuntimeWarning, match="single-core"):
+            backend = create_backend(cfg, engines["inline"].tagset_table)
+        try:
+            assert backend.name == "thread"
+        finally:
+            backend.close()
+
+    def test_pool_spawn_failure_falls_back_to_thread(self, engines, monkeypatch):
+        def boom(*args, **kwargs):
+            raise OSError("no /dev/shm today")
+
+        monkeypatch.setattr(backend_mod, "ProcessBackend", boom)
+        cfg = TagMatchConfig(backend="process", backend_workers=2)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            backend = create_backend(cfg, engines["inline"].tagset_table)
+        try:
+            assert backend.name == "thread"
+        finally:
+            backend.close()
+
+    def test_unknown_backend_rejected_by_config(self):
+        with pytest.raises(ValidationError):
+            TagMatchConfig(backend="gpu")
+        with pytest.raises(ValidationError):
+            TagMatchConfig(backend_workers=0)
+
+
+class TestSharedStore:
+    def test_manifest_is_picklable_and_views_zero_copy(self):
+        arrays = {
+            "a": np.arange(12, dtype=np.uint64).reshape(3, 4),
+            "b": np.arange(5, dtype=np.uint32),
+            "empty": np.empty(0, dtype=np.uint64),
+        }
+        store = SharedArrayStore(arrays)
+        try:
+            manifest = pickle.loads(pickle.dumps(store.manifest))
+            assert manifest.keys() == list(arrays)
+            shm, views = attach_views(manifest)
+            try:
+                for key, arr in arrays.items():
+                    np.testing.assert_array_equal(views[key], arr)
+                # Same physical segment: a write through the owner's view
+                # is visible through the attached view (zero copy).
+                store.views()["a"][0, 0] = 99
+                assert views["a"][0, 0] == 99
+            finally:
+                shm.close()
+        finally:
+            store.close()
+
+    def test_attach_after_unlink_raises(self):
+        store = SharedArrayStore({"x": np.arange(4, dtype=np.uint8)})
+        manifest = store.manifest
+        store.close()
+        with pytest.raises(BackendError, match="gone"):
+            attach_views(manifest)

@@ -1,0 +1,132 @@
+"""Crash injection for the shared-memory process pool.
+
+The pool must behave like the paper's always-on matching service: a
+compute worker dying (OOM-killed, segfaulted, ...) is detected by the
+monitor thread, the slot is respawned against the same shared store, and
+every in-flight task still completes — callers never observe the crash
+beyond added latency.  SIGKILL is the worst case (no cleanup handlers
+run), so that is what the tests inject.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import TagMatchConfig
+from repro.core.engine import TagMatch
+from repro.errors import BackendError
+from repro.gpu.timing import CostModel
+from repro.parallel.backend import KernelParams
+from repro.parallel.pool import ShmProcessPool
+from repro.parallel.shm_store import SharedArrayStore
+
+
+def _wait_until(predicate, timeout_s: float = 10.0) -> bool:
+    deadline = time.perf_counter() + timeout_s
+    while time.perf_counter() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return predicate()
+
+
+@pytest.fixture(scope="module")
+def bare_pool():
+    """A pool over a trivial store, for transport-level tests."""
+    store = SharedArrayStore({"x": np.arange(8, dtype=np.uint64)})
+    params = KernelParams(thread_block_size=8, prefilter=True, cost_model=CostModel())
+    pool = ShmProcessPool(2, store.manifest, params)
+    yield pool
+    pool.close()
+    store.close()
+
+
+class TestPoolTransport:
+    def test_ping_round_trip(self, bare_pool):
+        bare_pool.ping(timeout=30.0)
+
+    def test_unknown_task_kind_reports_error(self, bare_pool):
+        task = bare_pool.submit("does-not-exist")
+        with pytest.raises(BackendError, match="unknown pool task kind"):
+            task.wait(timeout=30.0)
+
+    def test_respawn_after_idle_kill(self, bare_pool):
+        before = bare_pool.respawns
+        old_pid = bare_pool.kill_worker(0)
+        assert _wait_until(lambda: bare_pool.respawns > before)
+        assert _wait_until(lambda: bare_pool.workers[0].is_alive())
+        assert bare_pool.workers[0].pid != old_pid
+        bare_pool.ping(timeout=30.0)  # pool still fully functional
+
+    def test_midflight_kill_completes_all_tasks(self, bare_pool):
+        """Tasks on the killed worker are resubmitted and still finish."""
+        before = bare_pool.respawns
+        # Occupy both workers so the victim is guaranteed to hold a task.
+        tasks = [bare_pool.submit("sleep", 0.8) for _ in range(2)]
+        tasks.append(bare_pool.submit("ping"))
+        time.sleep(0.2)
+        bare_pool.kill_worker(0)
+        for task in tasks:
+            task.wait(timeout=30.0)
+        assert bare_pool.respawns > before
+
+    def test_close_fails_pending_tasks_instead_of_hanging(self):
+        store = SharedArrayStore({"x": np.arange(4, dtype=np.uint64)})
+        params = KernelParams(
+            thread_block_size=8, prefilter=True, cost_model=CostModel()
+        )
+        pool = ShmProcessPool(1, store.manifest, params)
+        try:
+            task = pool.submit("sleep", 30.0)
+            time.sleep(0.1)
+            pool.close(timeout_s=1.0)
+            with pytest.raises(BackendError, match="pool closed"):
+                task.wait(timeout=5.0)
+            with pytest.raises(BackendError, match="closed"):
+                pool.submit("ping")
+        finally:
+            pool.close()
+            store.close()
+
+
+class TestEngineSurvivesWorkerCrash:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        cfg = TagMatchConfig(
+            max_partition_size=16,
+            batch_size=8,
+            batch_timeout_s=0.01,
+            num_threads=2,
+            backend="process",
+            backend_workers=2,
+        )
+        eng = TagMatch(cfg)
+        rng = np.random.default_rng(11)
+        for key in range(200):
+            chosen = rng.choice(40, size=int(rng.integers(1, 6)), replace=False)
+            eng.add_set({f"tag-{c}" for c in chosen}, key=key)
+        eng.consolidate()
+        yield eng
+        eng.close()
+
+    def test_run_completes_and_matches_after_worker_kill(self, engine):
+        assert engine.backend.name == "process"
+        rng = np.random.default_rng(5)
+        tag_sets = [
+            {f"tag-{c}" for c in rng.choice(40, size=8, replace=False)}
+            for _ in range(30)
+        ]
+        blocks = engine.encode_queries(tag_sets)
+        expected = [sorted(r.tolist()) for r in engine.match_batch(blocks)]
+
+        pool = engine.backend.pool
+        before = pool.respawns
+        pool.kill_worker(0)
+        run = engine.match_stream(blocks)
+        got = [sorted(r.tolist()) for r in run.results]
+        assert got == expected
+        assert _wait_until(lambda: pool.respawns > before)
+        assert _wait_until(
+            lambda: all(proc.is_alive() for proc in pool.workers)
+        )
