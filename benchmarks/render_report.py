@@ -50,12 +50,13 @@ ORDER = [
     "ablation_pivot",
     "extra_classic_families",
     "backend_scaling",
+    "service_throughput",
 ]
 
 
 def parse_table(text: str) -> tuple[list[str], list[list[str]]]:
     """Recover header and rows from a rendered result table."""
-    lines = [l for l in text.splitlines() if l.strip()]
+    lines = [line for line in text.splitlines() if line.strip()]
     body = []
     header: list[str] = []
     seen_rule = False

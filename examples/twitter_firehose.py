@@ -42,42 +42,41 @@ def main(num_users: int = 50_000) -> None:
         num_threads=4,
         batch_timeout_s=0.02,
     )
-    engine = TagMatch(config)
-    engine.add_signatures(workload.blocks, workload.keys)
-    report = engine.consolidate()
-    print(f"consolidated in {report.elapsed_s:.1f}s "
-          f"({report.partitioning.num_partitions} partitions)")
+    with TagMatch(config) as engine:
+        engine.add_signatures(workload.blocks, workload.keys)
+        report = engine.consolidate()
+        print(f"consolidated in {report.elapsed_s:.1f}s "
+              f"({report.partitioning.num_partitions} partitions)")
 
-    # Saturation probe: how fast can this box go?
-    tweets = workload.queries(4096, seed=8)
-    probe = engine.match_stream(tweets.blocks, unique=True)
-    print(f"max throughput: {probe.throughput_qps:.0f} tweets/s, "
-          f"avg fan-out {probe.output_keys / probe.num_queries:.1f} users/tweet")
+        # Saturation probe: how fast can this box go?
+        tweets = workload.queries(4096, seed=8)
+        probe = engine.match_stream(tweets.blocks, unique=True)
+        print(f"max throughput: {probe.throughput_qps:.0f} tweets/s, "
+              f"avg fan-out {probe.output_keys / probe.num_queries:.1f} users/tweet")
 
-    # Replay at Twitter's average rate, scaled like the database.
-    twitter_rate = PAPER_TWITTER_RATE_QPS * num_users / PAPER_USERS
-    rate = max(100.0, twitter_rate)
-    n = min(4096, int(rate * 4))
-    run = engine.match_stream(
-        tweets.blocks[:n], unique=True, arrival_rate_qps=rate
-    )
-    pct = latency_percentiles(run.latencies_s)
-    print(f"replay at {rate:.0f} tweets/s (scaled Twitter firehose):")
-    print(f"  delivered {run.num_queries} tweets to "
-          f"{run.output_keys} user inboxes")
-    print(f"  latency p50={pct['p50_ms']:.1f}ms p99={pct['p99_ms']:.1f}ms "
-          f"max={pct['max_ms']:.1f}ms")
-    headroom = probe.throughput_qps / rate
-    print(f"  headroom over the firehose: {headroom:.1f}x"
-          + (" — comfortably above Twitter traffic" if headroom > 1 else ""))
+        # Replay at Twitter's average rate, scaled like the database.
+        twitter_rate = PAPER_TWITTER_RATE_QPS * num_users / PAPER_USERS
+        rate = max(100.0, twitter_rate)
+        n = min(4096, int(rate * 4))
+        run = engine.match_stream(
+            tweets.blocks[:n], unique=True, arrival_rate_qps=rate
+        )
+        pct = latency_percentiles(run.latencies_s)
+        print(f"replay at {rate:.0f} tweets/s (scaled Twitter firehose):")
+        print(f"  delivered {run.num_queries} tweets to "
+              f"{run.output_keys} user inboxes")
+        print(f"  latency p50={pct['p50_ms']:.1f}ms p99={pct['p99_ms']:.1f}ms "
+              f"max={pct['max_ms']:.1f}ms")
+        headroom = probe.throughput_qps / rate
+        print(f"  headroom over the firehose: {headroom:.1f}x"
+              + (" — comfortably above Twitter traffic" if headroom > 1 else ""))
 
-    # Spot-check one delivery end to end.
-    tweet = tweets.tag_sets[0]
-    inbox = engine.match_unique(tweet)
-    sample_tags = sorted(tweet)[:4]
-    print(f"sample tweet {sample_tags}... reaches {inbox.size} users")
-    assert np.array_equal(np.sort(run.results[0]), inbox)
-    engine.close()
+        # Spot-check one delivery end to end.
+        tweet = tweets.tag_sets[0]
+        inbox = engine.match_unique(tweet)
+        sample_tags = sorted(tweet)[:4]
+        print(f"sample tweet {sample_tags}... reaches {inbox.size} users")
+        assert np.array_equal(np.sort(run.results[0]), inbox)
 
 
 if __name__ == "__main__":

@@ -13,6 +13,11 @@ Commands
     Quick throughput/latency measurement of the matching pipeline.
 ``match``
     Load a snapshot and answer one query from the command line.
+``serve``
+    Run the online pub/sub matching server (``repro.service``) over a
+    snapshot or a freshly built index, until SIGINT.
+``loadgen``
+    Drive an open-loop Poisson burst against a running server.
 """
 
 from __future__ import annotations
@@ -75,6 +80,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_match.add_argument("--index", required=True, help="snapshot path (.npz)")
     p_match.add_argument("--tags", required=True, help="comma-separated query tags")
     p_match.add_argument("--unique", action="store_true")
+
+    p_serve = sub.add_parser("serve", help="run the pub/sub matching server")
+    p_serve.add_argument(
+        "--index", default=None, help="start from a snapshot (.npz) instead of building"
+    )
+    p_serve.add_argument("--users", type=int, default=2_000)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--max-partition-size", type=int, default=800)
+    p_serve.add_argument("--gpus", type=int, default=1)
+    p_serve.add_argument(
+        "--backend", choices=("inline", "thread", "process"), default="inline"
+    )
+    p_serve.add_argument("--workers", type=int, default=None)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7311)
+    p_serve.add_argument("--batch-size", type=int, default=64, dest="ingress_batch")
+    p_serve.add_argument(
+        "--deadline-ms", type=float, default=10.0, help="initial ingress flush deadline"
+    )
+    p_serve.add_argument("--max-inflight", type=int, default=1024)
+    p_serve.add_argument(
+        "--reconsolidate-threshold",
+        type=int,
+        default=512,
+        help="delta size triggering a background rebuild (0 disables)",
+    )
+    p_serve.add_argument(
+        "--save-on-exit",
+        default=None,
+        help="fold the delta and save a snapshot here on shutdown",
+    )
+
+    p_loadgen = sub.add_parser("loadgen", help="open-loop load against a server")
+    p_loadgen.add_argument("--host", default="127.0.0.1")
+    p_loadgen.add_argument("--port", type=int, default=7311)
+    p_loadgen.add_argument("--duration", type=float, default=5.0)
+    p_loadgen.add_argument("--rate", type=float, default=500.0, help="offered ops/s")
+    p_loadgen.add_argument("--sub-ratio", type=float, default=0.05)
+    p_loadgen.add_argument("--unsub-ratio", type=float, default=0.02)
+    p_loadgen.add_argument("--connections", type=int, default=4)
+    p_loadgen.add_argument("--seed", type=int, default=0)
+    p_loadgen.add_argument("--unique", action="store_true")
 
     return parser
 
@@ -169,12 +216,82 @@ def _cmd_match(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.config import ServiceConfig
+    from repro.service.server import serve_until_interrupted
+
+    if args.index is not None:
+        engine = TagMatch.load(args.index)
+        print(f"loaded snapshot {args.index}")
+    else:
+        engine, _ = _build_engine(args)
+    service = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        ingress_batch_size=args.ingress_batch,
+        batch_deadline_s=args.deadline_ms / 1e3,
+        max_inflight=args.max_inflight,
+        reconsolidate_threshold=args.reconsolidate_threshold,
+    )
+
+    def ready(server) -> None:
+        print(f"serving on {args.host}:{server.port} (ctrl-C to stop)", flush=True)
+
+    asyncio.run(
+        serve_until_interrupted(
+            engine, service, snapshot_path=args.save_on_exit, ready_cb=ready
+        )
+    )
+    print("server stopped")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.loadgen import run_loadgen
+
+    report = asyncio.run(
+        run_loadgen(
+            args.host,
+            args.port,
+            duration_s=args.duration,
+            rate_qps=args.rate,
+            sub_ratio=args.sub_ratio,
+            unsub_ratio=args.unsub_ratio,
+            connections=args.connections,
+            seed=args.seed,
+            unique=args.unique,
+        )
+    )
+    pct = report.percentiles()
+    print(
+        f"offered {report.offered_qps:.0f} ops/s, "
+        f"achieved {report.qps:.0f} publishes/s over {report.elapsed_s:.1f}s"
+    )
+    print(
+        f"completed={report.completed} overloaded={report.overloaded} "
+        f"failed={report.failed} subs={report.subscribes} "
+        f"unsubs={report.unsubscribes}"
+    )
+    print(
+        f"publish latency p50={pct['p50_ms']:.1f}ms "
+        f"p99={pct['p99_ms']:.1f}ms max={pct['max_ms']:.1f}ms "
+        f"(overload rate {report.overload_rate:.1%})"
+    )
+    return 0 if report.failed == 0 else 1
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "workload": _cmd_workload,
     "build": _cmd_build,
     "bench": _cmd_bench,
     "match": _cmd_match,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

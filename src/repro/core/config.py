@@ -17,7 +17,7 @@ from repro.gpu.device import DEFAULT_DEVICE_MEMORY, DEFAULT_STREAMS_PER_DEVICE
 from repro.gpu.kernels import DEFAULT_THREAD_BLOCK_SIZE
 from repro.gpu.timing import CostModel
 
-__all__ = ["TagMatchConfig"]
+__all__ = ["TagMatchConfig", "ServiceConfig"]
 
 
 @dataclass(frozen=True)
@@ -133,3 +133,88 @@ class TagMatchConfig:
             raise ValidationError(
                 f"unknown pivot_strategy {self.pivot_strategy!r}"
             )
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the online pub/sub serving layer (:mod:`repro.service`).
+
+    Attributes
+    ----------
+    host, port:
+        TCP listen address; port 0 picks an ephemeral port (tests).
+    ingress_batch_size:
+        Publishes coalesced into one pipeline submission.  Bounded by
+        the engine's 256-query packed-id limit, like ``batch_size``.
+    batch_deadline_s, min_deadline_s, max_deadline_s:
+        Flush deadline for partially filled ingress batches.  The
+        deadline adapts within ``[min, max]`` using the Figure 6
+        insight: a too-short timeout is pathological (half-empty
+        batches), a too-long one buys nothing once batches fill — so
+        full flushes and starved timeouts shrink it, busy timeouts
+        grow it.
+    max_inflight:
+        Admission-control bound on publishes queued or matching.  Past
+        it the server replies ``OVERLOAD`` immediately (bounded-latency
+        rejection) instead of buffering without limit.
+    conn_inflight:
+        Per-connection cap on outstanding publishes; a connection at
+        the cap stops being read, which surfaces as TCP backpressure.
+    match_threads:
+        ``num_threads`` handed to the engine pipeline per ingress batch.
+    reconsolidate_threshold:
+        Delta-store size (adds + tombstones) that triggers a background
+        reconsolidation; ``0`` disables the automatic trigger (the
+        ``reconsolidate`` admin verb still works).
+    reconsolidate_interval_s:
+        How often the background task checks the threshold.
+    latency_window:
+        Publishes kept in the latency reservoir for the stats verb.
+    max_frame_bytes:
+        Hard cap on one protocol frame (guards the length prefix).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 7311
+    ingress_batch_size: int = 64
+    batch_deadline_s: float = 0.01
+    min_deadline_s: float = 0.001
+    max_deadline_s: float = 0.1
+    max_inflight: int = 1024
+    conn_inflight: int = 256
+    match_threads: int = 2
+    reconsolidate_threshold: int = 512
+    reconsolidate_interval_s: float = 0.25
+    latency_window: int = 4096
+    max_frame_bytes: int = 8 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.ingress_batch_size <= 256:
+            raise ValidationError(
+                "ingress_batch_size must be in [1, 256] (8-bit query ids), "
+                f"got {self.ingress_batch_size}"
+            )
+        if self.min_deadline_s <= 0:
+            raise ValidationError("min_deadline_s must be positive")
+        if not (
+            self.min_deadline_s <= self.batch_deadline_s <= self.max_deadline_s
+        ):
+            raise ValidationError(
+                "deadlines must satisfy min <= initial <= max: "
+                f"{self.min_deadline_s} <= {self.batch_deadline_s} "
+                f"<= {self.max_deadline_s}"
+            )
+        if self.max_inflight <= 0:
+            raise ValidationError("max_inflight must be positive")
+        if self.conn_inflight <= 0:
+            raise ValidationError("conn_inflight must be positive")
+        if self.match_threads <= 0:
+            raise ValidationError("match_threads must be positive")
+        if self.reconsolidate_threshold < 0:
+            raise ValidationError("reconsolidate_threshold must be non-negative")
+        if self.reconsolidate_interval_s <= 0:
+            raise ValidationError("reconsolidate_interval_s must be positive")
+        if self.latency_window <= 0:
+            raise ValidationError("latency_window must be positive")
+        if self.max_frame_bytes <= 0:
+            raise ValidationError("max_frame_bytes must be positive")

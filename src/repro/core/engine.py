@@ -85,6 +85,11 @@ class TagMatch:
         self.backend: ExecutionBackend | None = None
         self.pipeline: MatchPipeline | None = None
         self.last_consolidate: ConsolidateReport | None = None
+        #: Index generation: bumped on every consolidate()/snapshot
+        #: restore.  The serving layer stamps results with the epoch that
+        #: produced them, which is how reconsolidation swaps are observed
+        #: without ever blocking readers.
+        self.epoch = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -106,6 +111,29 @@ class TagMatch:
     def remove_set(self, tags, key: int) -> None:
         """Stage the removal of one (tag set, key) association."""
         self._staging.stage_remove(tags, key)
+
+    def remove_signature(self, blocks, key: int) -> None:
+        """Stage a removal by pre-encoded signature (delta tombstones)."""
+        self._staging.stage_remove_signature(blocks, key)
+
+    @classmethod
+    def from_signatures(
+        cls,
+        blocks: np.ndarray,
+        keys: np.ndarray,
+        config: TagMatchConfig | None = None,
+    ) -> "TagMatch":
+        """Build and consolidate an engine from association arrays.
+
+        This is the rebuild primitive of the serving layer: background
+        reconsolidation folds (frozen database ∪ delta adds − tombstones)
+        into a fresh engine off the hot path, then swaps it in.
+        """
+        engine = cls(config)
+        if len(blocks):
+            engine.add_signatures(blocks, keys)
+        engine.consolidate()
+        return engine
 
     def consolidate(self) -> ConsolidateReport:
         """Apply staged changes and rebuild the partitioned index."""
@@ -148,6 +176,7 @@ class TagMatch:
             thread_block_size=self.config.thread_block_size,
             replication_factor=self.config.replication_factor,
         )
+        self.epoch += 1
         self._install_backend()
         self.last_consolidate = ConsolidateReport(
             num_associations=len(self._database),
@@ -175,6 +204,7 @@ class TagMatch:
             self.key_table,
             self.config,
             backend=self.backend,
+            epoch=self.epoch,
         )
 
     # ------------------------------------------------------------------
@@ -224,6 +254,7 @@ class TagMatch:
             thread_block_size=self.config.thread_block_size,
             replication_factor=self.config.replication_factor,
         )
+        self.epoch += 1
         self._install_backend()
         self.last_consolidate = ConsolidateReport(
             num_associations=len(self._database),
@@ -338,6 +369,17 @@ class TagMatch:
     # ------------------------------------------------------------------
     # Introspection / lifecycle
     # ------------------------------------------------------------------
+    @property
+    def database(self) -> ConsolidatedDatabase:
+        """The consolidated association table (blocks/keys, read-only).
+
+        The serving layer reads this to seed delta bookkeeping and to
+        rebuild the index in the background; treat the arrays as frozen.
+        """
+        self._check_consolidated()
+        assert self._database is not None
+        return self._database
+
     def memory_usage(self) -> MemoryUsage:
         """Host/GPU memory breakdown of the consolidated index."""
         self._check_consolidated()

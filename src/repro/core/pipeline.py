@@ -124,6 +124,10 @@ class PipelineRun:
     latencies_s: np.ndarray
     elapsed_s: float
     stats: PipelineStats
+    #: Index generation this run was served from (``engine.epoch``);
+    #: the serving layer stamps replies with it so epoch swaps are
+    #: observable from the outside.
+    epoch: int = 0
 
     @property
     def num_queries(self) -> int:
@@ -151,11 +155,15 @@ class MatchPipeline:
         key_table: KeyTable,
         config: TagMatchConfig,
         backend: ExecutionBackend | None = None,
+        epoch: int = 0,
     ) -> None:
         self.partition_table = partition_table
         self.tagset_table = tagset_table
         self.key_table = key_table
         self.config = config
+        #: Index generation of the tables this pipeline serves (see
+        #: :attr:`PipelineRun.epoch`).
+        self.epoch = epoch
         #: Where stage-2 kernels execute; the engine passes the backend
         #: selected by ``config.backend``, direct constructions default
         #: to inline (the historical behaviour).
@@ -418,7 +426,11 @@ class MatchPipeline:
         results = [s.result for s in states]  # type: ignore[misc]
         latencies = np.array([s.latency_s for s in states])  # type: ignore[union-attr]
         return PipelineRun(
-            results=results, latencies_s=latencies, elapsed_s=elapsed, stats=stats
+            results=results,
+            latencies_s=latencies,
+            elapsed_s=elapsed,
+            stats=stats,
+            epoch=self.epoch,
         )
 
     # ------------------------------------------------------------------

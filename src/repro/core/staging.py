@@ -107,6 +107,20 @@ class StagingArea:
         self._remove_blocks.append(self._hasher.encode_set(tags))
         self._remove_keys.append(int(key))
 
+    def stage_remove_signature(self, blocks, key: int) -> None:
+        """Fast path: stage a removal by pre-encoded signature.
+
+        The serving layer's delta store records unsubscribes as
+        ``(signature, key)`` tombstones — the original tag strings are
+        gone by reconsolidation time, so folding a tombstone back into
+        the staging area has to work from the signature alone.
+        """
+        blocks = tuple(int(b) for b in np.asarray(blocks).reshape(-1))
+        if len(blocks) != self._hasher.num_blocks:
+            raise ValidationError("signature block count mismatch")
+        self._remove_blocks.append(blocks)
+        self._remove_keys.append(int(key))
+
     @property
     def pending_adds(self) -> int:
         return len(self._add_blocks)

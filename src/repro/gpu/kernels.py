@@ -185,7 +185,6 @@ def subset_match_kernel(
         )
 
     ids = np.ascontiguousarray(set_ids, dtype=np.uint32)
-    num_blocks_words = sets.shape[1]
     num_tblocks = -(-n // thread_block_size)
 
     if prefilter:

@@ -94,6 +94,10 @@ def _execute_task(kind: str, payload: Any, views: dict[str, np.ndarray], params)
 
 def _worker_main(slot: int, manifest: StoreManifest, params, conn) -> None:
     """Entry point of one pool worker process."""
+    # A terminal ctrl-C signals the whole foreground process group; the
+    # host coordinates shutdown over the pipe, so workers ignore SIGINT
+    # instead of dying mid-task with a KeyboardInterrupt traceback.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     shm, views = attach_views(manifest)
     conn.send((_READY, slot, os.getpid()))
     try:
@@ -314,7 +318,11 @@ class ShmProcessPool:
         while not self._stop.is_set():
             with self._lock:
                 conns = list(self._conns)
-            for conn in connection.wait(conns, timeout=0.1):
+            try:
+                ready = connection.wait(conns, timeout=0.1)
+            except OSError:  # a pipe closed mid-wait during shutdown/respawn
+                continue
+            for conn in ready:
                 try:
                     item = conn.recv()
                 except (EOFError, OSError):

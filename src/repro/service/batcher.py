@@ -1,0 +1,118 @@
+"""Ingress batching: coalesce concurrent publishes into pipeline batches.
+
+The paper's pipeline already batches queries *per partition* with a
+flush timeout (§3, Figure 6); the serving layer needs the same trick one
+level up, at the network ingress, so that publishes arriving on many
+connections within a few milliseconds of each other ride the pipeline as
+one batch.  The accumulator is a verbatim reuse of
+:class:`repro.core.batch.PartitionBatcher` — its ``states`` slots carry
+reply tickets instead of :class:`QueryState` — driven by asyncio timers
+instead of a flusher thread.
+
+The flush deadline adapts inside ``[min, max]`` using the Figure 6
+observation that the timeout has a sweet spot: batches that fill before
+the deadline mean the deadline is not the bottleneck (drift it down for
+latency); timeout flushes of mostly-empty batches mean traffic is too
+light for batching to pay (shrink, waiting longer would not fill them);
+timeout flushes of mostly-full batches mean a slightly longer wait would
+have filled them (grow).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable
+
+from repro.core.batch import Batch, PartitionBatcher
+
+__all__ = ["AdaptiveDeadline", "IngressBatcher"]
+
+
+class AdaptiveDeadline:
+    """AIMD-style controller for the ingress flush deadline."""
+
+    #: Occupancy fraction separating "starved" from "nearly full".
+    BUSY_FRACTION = 0.5
+
+    def __init__(self, initial_s: float, min_s: float, max_s: float) -> None:
+        self.current_s = float(initial_s)
+        self.min_s = float(min_s)
+        self.max_s = float(max_s)
+
+    def observe(self, reason: str, occupancy: int, batch_size: int) -> None:
+        """Update the deadline after one flush."""
+        if reason == "full":
+            self.current_s = max(self.min_s, self.current_s * 0.95)
+        elif occupancy >= self.BUSY_FRACTION * batch_size:
+            self.current_s = min(self.max_s, self.current_s * 1.25)
+        else:
+            self.current_s = max(self.min_s, self.current_s * 0.8)
+
+
+class IngressBatcher:
+    """Batches publish tickets and flushes on full-or-deadline.
+
+    ``flush_cb(batch, reason)`` is invoked on the event-loop thread with
+    ``reason in ("full", "timeout", "shutdown")``; ``batch.states``
+    holds whatever ticket objects were passed to :meth:`add`.
+    """
+
+    def __init__(
+        self,
+        flush_cb: Callable[[Batch, str], None],
+        batch_size: int,
+        num_words: int,
+        deadline: AdaptiveDeadline,
+    ) -> None:
+        self._flush_cb = flush_cb
+        self.batch_size = batch_size
+        self.deadline = deadline
+        # Partition id -1: this batch targets the whole index, not one
+        # partition; the pipeline re-batches per partition downstream.
+        self._batcher = PartitionBatcher(-1, batch_size, num_words)
+        self._timer: asyncio.TimerHandle | None = None
+
+    @property
+    def pending(self) -> int:
+        return self._batcher.pending
+
+    def add(self, query_row, ticket: Any) -> None:
+        """Enqueue one publish; flushes synchronously when full."""
+        full = self._batcher.add(query_row, ticket)
+        if full is not None:
+            self.deadline.observe("full", len(full), self.batch_size)
+            self._flush_cb(full, "full")
+        self._rearm()
+
+    def flush_now(self, reason: str = "shutdown") -> None:
+        """Flush whatever is pending (shutdown/drain path)."""
+        batch = self._batcher.flush()
+        if batch is not None:
+            self.deadline.observe(reason, len(batch), self.batch_size)
+            self._flush_cb(batch, reason)
+        self._rearm()
+
+    def close(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    def _rearm(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._batcher.pending:
+            self._timer = asyncio.get_running_loop().call_later(
+                self.deadline.current_s, self._on_deadline
+            )
+
+    def _on_deadline(self) -> None:
+        self._timer = None
+        # flush_if_stale(0) re-checks pending under the batcher's lock;
+        # the deadline that scheduled us is the staleness policy here.
+        batch = self._batcher.flush_if_stale(0.0)
+        if batch is not None:
+            self.deadline.observe("timeout", len(batch), self.batch_size)
+            self._flush_cb(batch, "timeout")
+        self._rearm()

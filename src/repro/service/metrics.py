@@ -1,0 +1,86 @@
+"""Serving-layer metrics, exposed through the ``stats`` verb.
+
+Counters are mutated from the event-loop thread only; ``snapshot()``
+renders a JSON-safe dict with the quantities the benchmarks and the
+acceptance criteria care about: qps, batch occupancy, latency
+percentiles, delta size, reconsolidation count, and overload rejects.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+import numpy as np
+
+__all__ = ["ServiceMetrics"]
+
+
+class ServiceMetrics:
+    """Aggregate counters + a bounded latency reservoir."""
+
+    def __init__(self, latency_window: int = 4096) -> None:
+        self.started_at = time.perf_counter()
+        self.publishes = 0
+        self.subscribes = 0
+        self.unsubscribes = 0
+        self.overloads = 0
+        self.errors = 0
+        self.batches = 0
+        self.batched_queries = 0
+        self.flush_reasons = {"full": 0, "timeout": 0, "shutdown": 0}
+        self.reconsolidations = 0
+        self.latencies_s: deque[float] = deque(maxlen=latency_window)
+
+    # ------------------------------------------------------------------
+    def record_batch(self, occupancy: int, reason: str) -> None:
+        self.batches += 1
+        self.batched_queries += occupancy
+        self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
+
+    def record_publish(self, latency_s: float) -> None:
+        self.publishes += 1
+        self.latencies_s.append(latency_s)
+
+    # ------------------------------------------------------------------
+    def snapshot(
+        self,
+        *,
+        epoch: int,
+        delta_size: int,
+        inflight: int,
+        deadline_s: float,
+        connections: int,
+    ) -> dict:
+        elapsed = max(time.perf_counter() - self.started_at, 1e-9)
+        lat = np.array(self.latencies_s, dtype=np.float64) * 1e3
+        percentiles = (
+            {
+                "p50_ms": float(np.percentile(lat, 50)),
+                "p99_ms": float(np.percentile(lat, 99)),
+                "max_ms": float(lat.max()),
+            }
+            if lat.size
+            else {"p50_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+        )
+        return {
+            "uptime_s": elapsed,
+            "qps": self.publishes / elapsed,
+            "publishes": self.publishes,
+            "subscribes": self.subscribes,
+            "unsubscribes": self.unsubscribes,
+            "overloads": self.overloads,
+            "errors": self.errors,
+            "batches": self.batches,
+            "batch_occupancy": (
+                self.batched_queries / self.batches if self.batches else 0.0
+            ),
+            "flush_reasons": dict(self.flush_reasons),
+            "batch_deadline_ms": deadline_s * 1e3,
+            "latency": percentiles,
+            "epoch": epoch,
+            "delta_size": delta_size,
+            "reconsolidations": self.reconsolidations,
+            "inflight": inflight,
+            "connections": connections,
+        }

@@ -1,0 +1,464 @@
+"""The asyncio pub/sub matching server.
+
+Architecture (per the paper's §6 future work — TagMatch inside a full
+messaging system):
+
+- One asyncio event loop owns all bookkeeping: connections, the delta
+  store, the ingress batcher, admission counters, and epoch swaps.  No
+  locks — matcher threads only ever see immutable snapshots.
+- Publishes are admitted (bounded in-flight queue, else an immediate
+  ``OVERLOAD`` reply), encoded, and coalesced by the ingress batcher;
+  each flushed batch runs the existing four-stage pipeline via
+  ``engine.match_stream`` in a worker thread, then the delta overlay
+  (:func:`repro.service.delta.apply_delta`), then replies.
+- Subscribes/unsubscribes mutate the delta store immediately — no
+  ``consolidate()`` on the hot path — and a background task rebuilds
+  the frozen index once the delta grows past a threshold, swapping the
+  new engine in atomically by reference.  In-flight batches hold a
+  lease on the engine they started with; a retired engine is closed
+  only when its last lease drains, so readers are never blocked and
+  never see a half-built index.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.batch import Batch
+from repro.core.config import ServiceConfig
+from repro.core.engine import TagMatch
+from repro.errors import ValidationError
+from repro.service.batcher import AdaptiveDeadline, IngressBatcher
+from repro.service.delta import DeltaStore, DeltaView, apply_delta
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import ProtocolError, read_frame, write_frame
+
+__all__ = ["MatchServer", "serve_until_interrupted"]
+
+#: Drain budget for in-flight batches during graceful shutdown.
+_DRAIN_TIMEOUT_S = 30.0
+
+
+@dataclass(eq=False)
+class _Conn:
+    """Per-connection state: write serialisation + pub backpressure."""
+
+    writer: asyncio.StreamWriter
+    sem: asyncio.Semaphore
+    write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+
+
+@dataclass
+class _PubTicket:
+    """One admitted publish waiting for its batch to return."""
+
+    conn: _Conn
+    req_id: object
+    unique: bool
+    t0: float
+
+
+class MatchServer:
+    """Online pub/sub front-end over one TagMatch engine."""
+
+    def __init__(
+        self,
+        engine: TagMatch,
+        config: ServiceConfig | None = None,
+        snapshot_path: str | None = None,
+    ) -> None:
+        if engine.partition_table is None:
+            raise ValidationError("serve requires a consolidated engine")
+        if engine.config.exact_check:
+            raise ValidationError(
+                "the serving layer stores signatures only; exact_check "
+                "engines cannot be served"
+            )
+        self.config = config if config is not None else ServiceConfig()
+        self.engine = engine
+        self.snapshot_path = snapshot_path
+        self.metrics = ServiceMetrics(self.config.latency_window)
+        self._hasher = engine.hasher
+        self.delta = DeltaStore(engine.hasher.num_blocks)
+        self.delta.rebase(engine.database.blocks, engine.database.keys)
+        self._batcher = IngressBatcher(
+            self._on_flush,
+            self.config.ingress_batch_size,
+            engine.hasher.num_blocks,
+            AdaptiveDeadline(
+                self.config.batch_deadline_s,
+                self.config.min_deadline_s,
+                self.config.max_deadline_s,
+            ),
+        )
+        self._conns: set[_Conn] = set()
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._leases: dict[int, int] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._folding = False
+        self._stopping = False
+        self._server: asyncio.base_events.Server | None = None
+        self._recon_task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        if self.config.reconsolidate_threshold:
+            self._recon_task = asyncio.get_running_loop().create_task(
+                self._recon_loop()
+            )
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def shutdown(self) -> None:
+        """Graceful stop: drain in-flight batches, then close the engine.
+
+        With a ``snapshot_path``, the surviving delta is folded into a
+        final reconsolidation and the index saved, so a restart resumes
+        from exactly the served state.
+        """
+        if self._stopping:
+            return
+        self._stopping = True
+        if self._recon_task is not None:
+            self._recon_task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._batcher.flush_now("shutdown")
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=_DRAIN_TIMEOUT_S)
+        except asyncio.TimeoutError:
+            pass
+        if self.snapshot_path is not None:
+            if self.delta.size and not self._folding:
+                await self.reconsolidate()
+            await asyncio.to_thread(self.engine.save, self.snapshot_path)
+        for conn in list(self._conns):
+            conn.writer.close()
+        self._batcher.close()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        await asyncio.to_thread(self.engine.close)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Conn(writer, asyncio.Semaphore(self.config.conn_inflight))
+        self._conns.add(conn)
+        try:
+            while True:
+                message = await read_frame(reader, self.config.max_frame_bytes)
+                if message is None:
+                    break
+                await self._dispatch(conn, message)
+        except (ProtocolError, ConnectionError, OSError):
+            pass
+        finally:
+            self._conns.discard(conn)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _send(self, conn: _Conn, message: dict) -> None:
+        try:
+            async with conn.write_lock:
+                await write_frame(conn.writer, message)
+        except (ConnectionError, OSError):
+            pass  # peer went away; nothing to deliver to
+
+    async def _dispatch(self, conn: _Conn, message: dict) -> None:
+        req_id = message.get("id")
+        verb = message.get("verb")
+        try:
+            if verb == "pub":
+                await self._on_publish(conn, message)
+            elif verb == "sub":
+                row = self._encode(message)
+                self.delta.subscribe(row, int(message["key"]))
+                self.metrics.subscribes += 1
+                await self._send(conn, {"id": req_id, "ok": True})
+            elif verb == "unsub":
+                row = self._encode(message)
+                removed = self.delta.unsubscribe(row, int(message["key"]))
+                self.metrics.unsubscribes += 1
+                await self._send(
+                    conn, {"id": req_id, "ok": True, "removed": removed}
+                )
+            elif verb == "stats":
+                await self._send(
+                    conn, {"id": req_id, "ok": True, "stats": self.stats()}
+                )
+            elif verb == "reconsolidate":
+                epoch = await self.reconsolidate()
+                await self._send(conn, {"id": req_id, "ok": True, "epoch": epoch})
+            elif verb == "ping":
+                await self._send(conn, {"id": req_id, "ok": True})
+            else:
+                raise ProtocolError(f"unknown verb {verb!r}")
+        except (KeyError, TypeError, ValueError, ProtocolError) as exc:
+            self.metrics.errors += 1
+            await self._send(
+                conn, {"id": req_id, "ok": False, "error": f"bad_request: {exc}"}
+            )
+
+    def _encode(self, message: dict) -> np.ndarray:
+        tags = message["tags"]
+        if not isinstance(tags, list) or not tags:
+            raise ProtocolError("tags must be a non-empty list")
+        return np.array(
+            self._hasher.encode_set(str(t) for t in tags), dtype=np.uint64
+        )
+
+    # ------------------------------------------------------------------
+    # Publish path
+    # ------------------------------------------------------------------
+    async def _on_publish(self, conn: _Conn, message: dict) -> None:
+        req_id = message.get("id")
+        if self._stopping:
+            await self._send(
+                conn, {"id": req_id, "ok": False, "error": "shutdown"}
+            )
+            return
+        if self._inflight >= self.config.max_inflight:
+            # Admission control: reject now, with bounded latency,
+            # rather than queue without limit and collapse (§6 of the
+            # batch-dynamic GPU matching literature: ingress discipline
+            # is where live systems win or lose).
+            self.metrics.overloads += 1
+            await self._send(
+                conn, {"id": req_id, "ok": False, "error": "overload"}
+            )
+            return
+        row = self._encode(message)
+        # Per-connection backpressure: at the cap this blocks, which
+        # stops the read loop for just this connection (TCP pushback).
+        await conn.sem.acquire()
+        ticket = _PubTicket(
+            conn=conn,
+            req_id=req_id,
+            unique=bool(message.get("unique", False)),
+            t0=time.perf_counter(),
+        )
+        self._inflight += 1
+        self._idle.clear()
+        self._batcher.add(row, ticket)
+
+    def _on_flush(self, batch: Batch, reason: str) -> None:
+        self.metrics.record_batch(len(batch), reason)
+        task = asyncio.get_running_loop().create_task(self._run_batch(batch))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_batch(self, batch: Batch) -> None:
+        tickets: list[_PubTicket] = batch.states
+        unique_flags = [t.unique for t in tickets]
+        view = self.delta.view()
+        engine = self._lease()
+        try:
+            results, epoch = await asyncio.to_thread(
+                self._match_batch_sync, engine, batch.queries, unique_flags, view
+            )
+        except BaseException as exc:  # noqa: BLE001 - replied per ticket
+            self.metrics.errors += 1
+            for ticket in tickets:
+                await self._send(
+                    ticket.conn,
+                    {"id": ticket.req_id, "ok": False, "error": f"match_failed: {exc}"},
+                )
+                self._finish_pub(ticket)
+            return
+        finally:
+            self._release(engine)
+        for ticket, keys in zip(tickets, results):
+            self.metrics.record_publish(time.perf_counter() - ticket.t0)
+            await self._send(
+                ticket.conn,
+                {
+                    "id": ticket.req_id,
+                    "ok": True,
+                    "keys": keys.tolist(),
+                    "epoch": epoch,
+                },
+            )
+            self._finish_pub(ticket)
+
+    def _finish_pub(self, ticket: _PubTicket) -> None:
+        ticket.conn.sem.release()
+        self._inflight -= 1
+        if self._inflight == 0:
+            self._idle.set()
+
+    def _match_batch_sync(
+        self,
+        engine: TagMatch,
+        blocks: np.ndarray,
+        unique_flags: list[bool],
+        view: DeltaView,
+    ) -> tuple[list[np.ndarray], int]:
+        """Worker-thread body: frozen pipeline run + delta overlay.
+
+        The frozen run always uses multiset semantics so tombstone
+        subtraction is exact; per-query ``unique`` is applied after the
+        overlay.  No inner flush timeout: the ingress batcher already
+        decided this batch's latency budget.
+        """
+        run = engine.match_stream(
+            blocks,
+            unique=False,
+            num_threads=self.config.match_threads,
+            batch_timeout_s=None,
+        )
+        results = apply_delta(run.results, blocks, view, unique_flags)
+        return results, run.epoch
+
+    # ------------------------------------------------------------------
+    # Epoch swap / reconsolidation
+    # ------------------------------------------------------------------
+    def _lease(self) -> TagMatch:
+        engine = self.engine
+        self._leases[id(engine)] = self._leases.get(id(engine), 0) + 1
+        return engine
+
+    def _release(self, engine: TagMatch) -> None:
+        remaining = self._leases.get(id(engine), 0) - 1
+        if remaining > 0:
+            self._leases[id(engine)] = remaining
+            return
+        self._leases.pop(id(engine), None)
+        if engine is not self.engine:
+            self._close_later(engine)
+
+    def _close_later(self, engine: TagMatch) -> None:
+        task = asyncio.get_running_loop().create_task(
+            asyncio.to_thread(engine.close)
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def reconsolidate(self) -> int:
+        """Rebuild the frozen index off the hot path and swap epochs.
+
+        Readers are never blocked: the rebuild runs in a worker thread
+        over captured snapshots, the swap is a reference assignment on
+        the event loop, and the old engine closes when its last
+        in-flight batch releases its lease.
+        """
+        if self._folding:
+            return self.engine.epoch
+        self._folding = True
+        view = self.delta.mark_fold()
+        old = self.engine
+        db = old.database
+        try:
+            new_engine = await asyncio.to_thread(
+                self._rebuild, db.blocks, db.keys, view, old
+            )
+        except BaseException:
+            self.delta.abort_fold()
+            self._folding = False
+            raise
+        self.delta.complete_fold(
+            new_engine.database.blocks, new_engine.database.keys
+        )
+        self.engine = new_engine
+        self.metrics.reconsolidations += 1
+        if id(old) not in self._leases:
+            self._close_later(old)
+        self._folding = False
+        return new_engine.epoch
+
+    @staticmethod
+    def _rebuild(
+        db_blocks: np.ndarray,
+        db_keys: np.ndarray,
+        view: DeltaView,
+        old: TagMatch,
+    ) -> TagMatch:
+        """Fold frozen ∪ adds − tombstones into a fresh engine."""
+        blocks = (
+            np.vstack([db_blocks, view.add_blocks])
+            if view.add_keys.size
+            else db_blocks
+        )
+        keys = (
+            np.concatenate([db_keys, view.add_keys])
+            if view.add_keys.size
+            else db_keys
+        )
+        engine = TagMatch(old.config)
+        engine.epoch = old.epoch  # consolidate() bumps: epochs stay monotonic
+        if len(blocks):
+            engine.add_signatures(blocks, keys)
+        for row, key in zip(view.tomb_blocks, view.tomb_keys):
+            engine.remove_signature(row, int(key))
+        engine.consolidate()
+        return engine
+
+    async def _recon_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.reconsolidate_interval_s)
+            if (
+                not self._folding
+                and self.delta.size >= self.config.reconsolidate_threshold
+            ):
+                try:
+                    await self.reconsolidate()
+                except Exception:  # noqa: BLE001 - keep serving on the old epoch
+                    self.metrics.errors += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return self.metrics.snapshot(
+            epoch=self.engine.epoch,
+            delta_size=self.delta.size,
+            inflight=self._inflight,
+            deadline_s=self._batcher.deadline.current_s,
+            connections=len(self._conns),
+        )
+
+
+async def serve_until_interrupted(
+    engine: TagMatch,
+    config: ServiceConfig,
+    snapshot_path: str | None = None,
+    ready_cb=None,
+) -> None:
+    """Run a server until SIGINT/SIGTERM, then drain gracefully."""
+    import signal
+
+    server = MatchServer(engine, config, snapshot_path=snapshot_path)
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+    if ready_cb is not None:
+        ready_cb(server)
+    try:
+        await stop.wait()
+    finally:
+        await server.shutdown()

@@ -20,6 +20,21 @@ class TestParser:
         assert args.queries == 2048
         assert not args.unique
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.index is None
+        assert args.port == 7311
+        assert args.ingress_batch == 64
+        assert args.save_on_exit is None
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--rate", "250", "--duration", "2"]
+        )
+        assert args.rate == 250.0
+        assert args.duration == 2.0
+        assert args.connections == 4
+
 
 class TestCommands:
     def test_demo(self, capsys):

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.bloom.array import SignatureArray
 from repro.bloom.filter import BloomSignature
-from repro.bloom.hashing import TagHasher
 from repro.core.partitioning import balanced_partition
 from repro.errors import ValidationError
 

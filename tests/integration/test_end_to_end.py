@@ -1,6 +1,5 @@
 """End-to-end integration: workload → engine → results vs the oracle."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import LinearScanMatcher

@@ -1,0 +1,84 @@
+"""Wire-protocol framing: round-trips, caps, and EOF behaviour."""
+
+import asyncio
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+)
+
+
+def _reader_with(data: bytes, eof: bool = True) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+def test_encode_decode_round_trip():
+    message = {"id": 3, "verb": "pub", "tags": ["a", "b"], "unique": False}
+    frame = encode_frame(message)
+    length = int.from_bytes(frame[:4], "big")
+    assert length == len(frame) - 4
+    assert decode_frame(frame[4:]) == message
+
+
+def test_decode_rejects_non_object():
+    with pytest.raises(ProtocolError):
+        decode_frame(b"[1, 2, 3]")
+    with pytest.raises(ProtocolError):
+        decode_frame(b"\xff\xfe not json")
+
+
+def test_read_frame_round_trip():
+    async def run():
+        first = encode_frame({"id": 0, "verb": "ping"})
+        second = encode_frame({"id": 1, "verb": "stats"})
+        reader = _reader_with(first + second)
+        assert await read_frame(reader) == {"id": 0, "verb": "ping"}
+        assert await read_frame(reader) == {"id": 1, "verb": "stats"}
+        assert await read_frame(reader) is None  # clean EOF
+
+    asyncio.run(run())
+
+
+def test_read_frame_clean_eof_is_none():
+    async def run():
+        assert await read_frame(_reader_with(b"")) is None
+
+    asyncio.run(run())
+
+
+def test_read_frame_mid_header_is_error():
+    async def run():
+        with pytest.raises(ProtocolError):
+            await read_frame(_reader_with(b"\x00\x00"))
+
+    asyncio.run(run())
+
+
+def test_read_frame_mid_body_is_error():
+    async def run():
+        frame = encode_frame({"id": 0, "verb": "ping"})
+        with pytest.raises(ProtocolError):
+            await read_frame(_reader_with(frame[:-1]))
+
+    asyncio.run(run())
+
+
+def test_read_frame_enforces_cap():
+    async def run():
+        huge = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError):
+            await read_frame(_reader_with(huge, eof=False))
+        small_cap = encode_frame({"id": 0, "verb": "ping", "pad": "x" * 64})
+        with pytest.raises(ProtocolError):
+            await read_frame(_reader_with(small_cap), max_bytes=16)
+
+    asyncio.run(run())
