@@ -50,6 +50,7 @@ ORDER = [
     "ablation_pivot",
     "extra_classic_families",
     "backend_scaling",
+    "kernel_hotpath",
     "service_throughput",
 ]
 

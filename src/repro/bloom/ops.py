@@ -16,16 +16,40 @@ from repro.errors import ValidationError
 __all__ = ["containment_matrix"]
 
 
-def containment_matrix(subs: np.ndarray, supers: np.ndarray) -> np.ndarray:
+def containment_matrix(
+    subs: np.ndarray, supers: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
     """Boolean ``(len(subs), len(supers))``: ``subs[i] ⊆ supers[j]``.
 
     Both inputs are ``(n, words)`` uint64 block arrays.  Entry ``(i, j)``
     is true iff every one-bit of ``subs[i]`` is set in ``supers[j]``
     (footnote 4's per-block check, evaluated across all pairs).
+
+    The word loop exits early once the mismatch mask is saturated (every
+    pair already disqualified) — later words cannot resurrect a pair.
+    ``out``, when given, is a preallocated boolean buffer with capacity
+    for at least ``(n, m)``; the result is written into (a view of) it
+    instead of a fresh allocation, composing with the kernel's reusable
+    result arenas.
     """
     if subs.ndim != 2 or supers.ndim != 2 or subs.shape[1] != supers.shape[1]:
         raise ValidationError("containment_matrix needs matching (n, words) arrays")
+    n, m = subs.shape[0], supers.shape[0]
     mismatch = subs[:, 0][:, None] & ~supers[:, 0][None, :]
     for word in range(1, subs.shape[1]):
-        mismatch |= subs[:, word][:, None] & ~supers[:, word][None, :]
-    return mismatch == 0
+        # Saturation early-exit: once every pair has a mismatching word,
+        # the remaining words cannot change the outcome.
+        if mismatch.all():
+            break
+        np.bitwise_or(
+            mismatch, subs[:, word][:, None] & ~supers[:, word][None, :], out=mismatch
+        )
+    if out is None:
+        return mismatch == 0
+    if out.ndim != 2 or out.shape[0] < n or out.shape[1] < m:
+        raise ValidationError(
+            f"containment_matrix out buffer {out.shape} too small for ({n}, {m})"
+        )
+    view = out[:n, :m]
+    np.equal(mismatch, 0, out=view)
+    return view

@@ -23,7 +23,7 @@ from repro.core.pipeline import MatchPipeline, PipelineRun, grouped_key_lookup
 from repro.core.results import merge_keys
 from repro.core.staging import ConsolidatedDatabase, StagingArea
 from repro.core.tagset_table import TagsetTable
-from repro.errors import ConsolidationError, ValidationError
+from repro.errors import ConsolidationError, DeviceError, ValidationError
 from repro.gpu.device import Device
 from repro.gpu.kernels import subset_match_kernel
 from repro.parallel.backend import ExecutionBackend, create_backend
@@ -162,20 +162,7 @@ class TagMatch:
             self.config.width,
             pivot_strategy=self.config.pivot_strategy,
         )
-        self.partition_table = PartitionTable(
-            partitioning.partitions, self.config.width
-        )
-        if self.tagset_table is not None:
-            self.tagset_table.free()
-        self.tagset_table = TagsetTable(
-            unique_blocks,
-            partitioning.partitions,
-            self.devices,
-            self.config.width,
-            replicate=self.config.replicate_tagset_table,
-            thread_block_size=self.config.thread_block_size,
-            replication_factor=self.config.replication_factor,
-        )
+        self._build_tables(unique_blocks, partitioning.partitions)
         self.epoch += 1
         self._install_backend()
         self.last_consolidate = ConsolidateReport(
@@ -185,6 +172,40 @@ class TagMatch:
             elapsed_s=time.perf_counter() - start,
         )
         return self.last_consolidate
+
+    def _build_tables(self, unique_blocks: np.ndarray, partitions) -> None:
+        """(Re)build the partition + tagset tables for a fresh index.
+
+        With ``coarse_prefilter`` on, the partition table indexes the
+        effective mask ``pivot | AND-of-rows`` per partition — the
+        level-1 hierarchical filter that rejects whole partitions during
+        pre-processing with one containment row (exact, because any
+        matching row forces every common bit into the query).
+        """
+        coarse_masks = None
+        if self.config.coarse_prefilter and partitions:
+            num_words = self.config.width // 64
+            coarse_masks = np.zeros((len(partitions), num_words), dtype=np.uint64)
+            for i, partition in enumerate(partitions):
+                if len(partition.indices):
+                    coarse_masks[i] = np.bitwise_and.reduce(
+                        unique_blocks[partition.indices], axis=0
+                    )
+        self.partition_table = PartitionTable(
+            partitions, self.config.width, coarse_masks=coarse_masks
+        )
+        if self.tagset_table is not None:
+            self.tagset_table.free()
+        self.tagset_table = TagsetTable(
+            unique_blocks,
+            partitions,
+            self.devices,
+            self.config.width,
+            replicate=self.config.replicate_tagset_table,
+            thread_block_size=self.config.thread_block_size,
+            replication_factor=self.config.replication_factor,
+            fuse_partitions_below=self.config.fuse_partitions_below,
+        )
 
     def _install_backend(self) -> None:
         """(Re)build the execution backend and pipeline after an index
@@ -242,18 +263,7 @@ class TagMatch:
         partitioning = PartitioningResult(
             partitions=partitions, elapsed_s=0.0, num_sets=unique_blocks.shape[0]
         )
-        self.partition_table = PartitionTable(partitions, self.config.width)
-        if self.tagset_table is not None:
-            self.tagset_table.free()
-        self.tagset_table = TagsetTable(
-            unique_blocks,
-            partitions,
-            self.devices,
-            self.config.width,
-            replicate=self.config.replicate_tagset_table,
-            thread_block_size=self.config.thread_block_size,
-            replication_factor=self.config.replication_factor,
-        )
+        self._build_tables(unique_blocks, partitions)
         self.epoch += 1
         self._install_backend()
         self.last_consolidate = ConsolidateReport(
@@ -289,8 +299,8 @@ class TagMatch:
         relevant = self.partition_table.relevant_partitions(query)
         chunks: list[np.ndarray] = []
         batch = query.reshape(1, -1)
-        for pid in relevant:
-            residency = self.tagset_table.residency(int(pid))
+        for uid in self.tagset_table.units_for(relevant):
+            residency = self.tagset_table.unit_residency(int(uid))
             result = subset_match_kernel(
                 residency.sets.array(),
                 residency.ids.array(),
@@ -300,6 +310,10 @@ class TagMatch:
                 cost_model=residency.device.cost_model,
                 clock=residency.device.clock,
                 prefixes=residency.prefixes.array(),
+                block_offsets=residency.block_offsets.array(),
+                member_commons=residency.commons.array(),
+                member_of_block=residency.member_of_block.array(),
+                coarse=self.config.coarse_prefilter,
             )
             set_ids = result.set_ids.astype(np.int64)
             if self._store_tags and set_ids.size:
@@ -334,8 +348,8 @@ class TagMatch:
             relevant = self.partition_table.relevant_partitions(row)
             chunks: list[np.ndarray] = []
             batch = row.reshape(1, -1)
-            for pid in relevant:
-                residency = self.tagset_table.residency(int(pid))
+            for uid in self.tagset_table.units_for(relevant):
+                residency = self.tagset_table.unit_residency(int(uid))
                 result = subset_match_kernel(
                     residency.sets.array(),
                     residency.ids.array(),
@@ -343,6 +357,10 @@ class TagMatch:
                     thread_block_size=self.config.thread_block_size,
                     prefilter=self.config.prefilter,
                     prefixes=residency.prefixes.array(),
+                    block_offsets=residency.block_offsets.array(),
+                    member_commons=residency.commons.array(),
+                    member_of_block=residency.member_of_block.array(),
+                    coarse=self.config.coarse_prefilter,
                 )
                 if result.set_ids.size:
                     chunks.append(
@@ -404,6 +422,11 @@ class TagMatch:
         return self.partition_table.num_partitions
 
     def _check_consolidated(self) -> None:
+        if self._closed:
+            # The coarse pre-filter can reject a query before any device
+            # buffer is touched, so freed-buffer access alone cannot be
+            # relied on to flag use-after-close.
+            raise DeviceError("engine is closed")
         if self.partition_table is None:
             raise ConsolidationError(
                 "index not built: call consolidate() after add_set/remove_set"

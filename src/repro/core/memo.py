@@ -1,0 +1,80 @@
+"""Duplicate-query memoization for the serving layer (§4.2.1).
+
+A pub/sub firehose repeats itself: many published messages carry the
+same tag set, hence the same encoded signature, hence — against the same
+index generation — exactly the same match result.  :class:`QueryMemo` is
+a small thread-safe LRU over frozen-index results keyed on
+``(epoch, signature bytes)``.  Keying on the engine epoch makes
+invalidation free: a reconsolidation bumps the epoch and every stale
+entry simply stops being reachable (and ages out of the LRU).
+
+Only results computed against the *frozen* consolidated index may be
+cached; the delta overlay is applied per request on top of the memoized
+keys, so live adds/removes are never masked by the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["QueryMemo"]
+
+
+class QueryMemo:
+    """Thread-safe LRU of per-signature match results.
+
+    Values are the frozen-index key arrays; callers must treat them as
+    read-only (the serving layer copies before applying delta overlays).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValidationError("memo capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple[int, bytes], np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, epoch: int, signature: bytes) -> np.ndarray | None:
+        """The memoized frozen-index keys, or ``None`` on a miss."""
+        key = (epoch, signature)
+        with self._lock:
+            keys = self._entries.get(key)
+            if keys is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return keys
+
+    def put(self, epoch: int, signature: bytes, keys: np.ndarray) -> None:
+        """Memoize one frozen-index result, evicting the LRU entry."""
+        key = (epoch, signature)
+        with self._lock:
+            self._entries[key] = keys
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+            }

@@ -27,9 +27,23 @@ __all__ = ["PartitionTable"]
 
 
 class PartitionTable:
-    """Inverted index from leftmost one-bit position to partition masks."""
+    """Inverted index from leftmost one-bit position to partition masks.
 
-    def __init__(self, partitions: list[Partition], width: int) -> None:
+    ``coarse_masks``, when given, holds one AND-of-rows summary per
+    partition (the level-1 filter of the hierarchical pre-filter).  Every
+    row of a partition contains all of the common bits, so any matching
+    row forces the common mask to be a subset of the query — the index
+    built from ``mask | common`` is therefore still exact, but rejects
+    strictly more irrelevant partitions than the pivot mask alone
+    (``mask ⊆ common`` because the pivot bits appear in every row).
+    """
+
+    def __init__(
+        self,
+        partitions: list[Partition],
+        width: int,
+        coarse_masks: np.ndarray | None = None,
+    ) -> None:
         if width <= 0 or width % 64 != 0:
             raise ValidationError("width must be a positive multiple of 64")
         self.width = width
@@ -39,6 +53,12 @@ class PartitionTable:
         masks = np.zeros((len(partitions), num_words), dtype=np.uint64)
         for i, partition in enumerate(partitions):
             masks[i] = partition.mask
+        if coarse_masks is not None:
+            if coarse_masks.shape != masks.shape:
+                raise ValidationError(
+                    "coarse_masks must be one block row per partition"
+                )
+            np.bitwise_or(masks, coarse_masks, out=masks)
         #: Dense mask matrix used by the vectorized batch pre-process.
         self._dense_masks = masks
         arr = SignatureArray(masks, width=width)

@@ -57,9 +57,12 @@ def grouped_key_lookup(
     if q_ids.size == 0:
         return []
     first = int(q_ids[0])
-    if q_ids[0] == q_ids[-1] and not np.any(q_ids != q_ids[0]):
-        return [(first, key_table.keys_of_many(set_ids))]
+    # One pass decides both fast paths: a nondecreasing array whose first
+    # and last elements agree is uniform (the converse scan the seed did
+    # on top of this was redundant — uniform arrays are always sorted).
     if np.all(q_ids[:-1] <= q_ids[1:]):
+        if first == int(q_ids[-1]):
+            return [(first, key_table.keys_of_many(set_ids))]
         q_sorted, sets_sorted = q_ids, set_ids
     else:
         order = np.argsort(q_ids, kind="stable")
@@ -172,6 +175,8 @@ class MatchPipeline:
             if backend is not None
             else InlineBackend(tagset_table, KernelParams.from_config(config))
         )
+        #: Per-lookup-thread unpack scratch (see :meth:`_unpack_scratch`).
+        self._tls = threading.local()
 
     # ------------------------------------------------------------------
     # Public entry point
@@ -204,8 +209,14 @@ class MatchPipeline:
         states: list[QueryState | None] = [None] * n
         stats = PipelineStats()
 
+        # Batches form per dispatch unit: with partition fusing each
+        # batcher covers a whole run of small partitions, so one flush
+        # becomes one fused kernel launch.
+        num_units = self.tagset_table.num_units
+        fused = num_units != self.partition_table.num_partitions
+        unit_starts = self.tagset_table.unit_starts
         batchers = BatcherSet(
-            self.partition_table.num_partitions,
+            num_units,
             self.config.batch_size,
             query_blocks.shape[1],
         )
@@ -230,11 +241,24 @@ class MatchPipeline:
         # ---------------- stage 2: GPU dispatch ----------------
         backend = self.backend
 
+        memoize = self.config.query_memo_size > 0
+
         def dispatch(batch: Batch, reason: str) -> None:
             stats.record_batch(reason)
-            residency = self.tagset_table.residency(batch.partition_id)
+            unit_id = batch.partition_id
+            residency = self.tagset_table.unit_residency(unit_id)
             device = residency.device
             stream = device.acquire_stream()
+
+            # Duplicate-query memoization: byte-identical queries in the
+            # batch ride the device once; the inverse map fans the keys
+            # back out to every duplicate slot at the lookup stage.
+            queries = batch.queries
+            inverse = None
+            if memoize:
+                unique_rows, inv = batch.canonicalise()
+                if unique_rows.shape[0] < len(batch.states):
+                    queries, inverse = unique_rows, inv
 
             def copy_in_kernel_and_push():
                 # The copy-in / kernel / result-push sequence of §3.3.2,
@@ -244,10 +268,13 @@ class MatchPipeline:
                 # the stream op holds the in-flight slot until the packed
                 # results are back, like a CPU thread awaiting its CUDA
                 # stream.
-                qbuf = device.htod(batch.queries, label="query-batch")
+                qbuf = device.htod(queries, label="query-batch")
                 kernel_start = time.perf_counter()
                 result = backend.run_kernel(
-                    batch.partition_id, qbuf.array(), residency=residency
+                    unit_id,
+                    qbuf.array(),
+                    residency=residency,
+                    arena=stream.arena,
                 )
                 kernel_wall = time.perf_counter() - kernel_start
                 qbuf.free()
@@ -258,7 +285,7 @@ class MatchPipeline:
                     result.num_pairs, result.simulated_time_s, kernel_wall
                 )
                 delivered = buffer_for(stream).push(
-                    result.packed, result.num_pairs, meta=batch.states
+                    result.packed, result.num_pairs, meta=(batch.states, inverse)
                 )
                 if delivered is not None:
                     completions.put(delivered)
@@ -281,6 +308,10 @@ class MatchPipeline:
                 matrix = backend.relevant_matrix(rows)
                 if matrix is None:
                     matrix = self.partition_table.relevant_matrix(rows)
+                if fused:
+                    # Collapse partition columns to dispatch units: a
+                    # unit is relevant when any member partition is.
+                    matrix = np.logical_or.reduceat(matrix, unit_starts, axis=1)
                 counts = matrix.sum(axis=1)
                 chunk_states: list[QueryState] = []
                 for local, qi in enumerate(chunk):
@@ -454,19 +485,49 @@ class MatchPipeline:
             if not stream.closed:
                 stream.enqueue(flush_op, label="flush-results")
 
+    def _unpack_scratch(self, num_pairs: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-lookup-thread reusable unpack buffers (zero-allocation
+        steady state for stage 3; each delivery is confined to one
+        thread, so thread-local scratch is race-free)."""
+        tls = self._tls
+        q_buf = getattr(tls, "q_buf", None)
+        if q_buf is None or q_buf.shape[0] < num_pairs:
+            capacity = max(num_pairs, 4 * self.config.batch_size)
+            tls.q_buf = np.empty(capacity, dtype=np.uint8)
+            tls.s_buf = np.empty(capacity, dtype=np.uint32)
+        return tls.q_buf, tls.s_buf
+
     def _deliver(self, cycle: CycleResult) -> None:
-        """Key lookup/reduce for one returned batch (stage 3)."""
-        batch_states: list[QueryState] = cycle.meta
-        q_ids, set_ids = unpack_results(cycle.packed, cycle.num_pairs)
+        """Key lookup/reduce for one returned batch (stage 3).
+
+        ``cycle.meta`` is ``(states, inverse)``: with duplicate-query
+        memoization the kernel matched only the unique query rows and
+        ``inverse`` maps each original slot to its unique row; every
+        duplicate slot receives the (shared, read-only) key chunk of its
+        representative.  Without memoization ``inverse`` is ``None`` and
+        slots map one-to-one.
+        """
+        batch_states, inverse = cycle.meta
+        num_slots = len(batch_states) if inverse is None else int(inverse.max()) + 1
+        empty = np.empty(0, dtype=np.int64)
         if cycle.num_pairs == 0:
             for state in batch_states:
-                state.deliver_keys(np.empty(0, dtype=np.int64))
+                state.deliver_keys(empty)
             return
-        seen = np.zeros(len(batch_states), dtype=bool)
+        q_ids, set_ids = unpack_results(
+            cycle.packed, cycle.num_pairs, out=self._unpack_scratch(cycle.num_pairs)
+        )
+        seen = np.zeros(num_slots, dtype=bool)
+        chunks: list[np.ndarray | None] = [None] * num_slots
         for local_q, chunk in grouped_key_lookup(
             q_ids, set_ids.astype(np.int64), self.key_table
         ):
-            batch_states[local_q].deliver_keys(chunk)
+            chunks[local_q] = chunk
             seen[local_q] = True
-        for local_q in np.nonzero(~seen)[0]:
-            batch_states[local_q].deliver_keys(np.empty(0, dtype=np.int64))
+        if inverse is None:
+            for local_q, state in enumerate(batch_states):
+                state.deliver_keys(chunks[local_q] if seen[local_q] else empty)
+        else:
+            for slot, state in enumerate(batch_states):
+                local_q = int(inverse[slot])
+                state.deliver_keys(chunks[local_q] if seen[local_q] else empty)

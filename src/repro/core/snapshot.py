@@ -37,6 +37,9 @@ _CONFIG_FIELDS = (
     "device_memory",
     "thread_block_size",
     "prefilter",
+    "fuse_partitions_below",
+    "coarse_prefilter",
+    "query_memo_size",
     "replicate_tagset_table",
     "replication_factor",
     "exact_check",

@@ -24,8 +24,11 @@ from repro.gpu.kernels import (
     DEFAULT_THREAD_BLOCK_SIZE,
     KernelResult,
     KernelStats,
+    ResultArena,
     block_prefixes,
+    block_prefixes_ranges,
     subset_match_kernel,
+    uniform_block_offsets,
 )
 from repro.gpu.memory import DeviceBuffer, MemoryLedger, TransferDirection, TransferStats
 from repro.gpu.packing import (
@@ -55,11 +58,14 @@ __all__ = [
     "KernelResult",
     "KernelStats",
     "MemoryLedger",
+    "ResultArena",
     "Stream",
     "StreamOp",
     "TransferDirection",
     "TransferStats",
     "block_prefixes",
+    "block_prefixes_ranges",
+    "uniform_block_offsets",
     "naive_aligned_size",
     "pack_results",
     "packed_size",

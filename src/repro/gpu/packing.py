@@ -49,11 +49,16 @@ def naive_aligned_size(num_pairs: int) -> int:
     return 8 * num_pairs
 
 
-def pack_results(query_ids: np.ndarray, set_ids: np.ndarray) -> np.ndarray:
+def pack_results(
+    query_ids: np.ndarray, set_ids: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
     """Pack parallel ``(query, set)`` id arrays into the §3.3.1 layout.
 
     ``query_ids`` must fit in uint8 (batches hold at most 256 queries) and
-    ``set_ids`` in uint32.  Returns a flat ``uint8`` array.
+    ``set_ids`` in uint32.  Returns a flat ``uint8`` array.  ``out``, when
+    given, is a preallocated uint8 buffer of at least ``packed_size(n)``
+    bytes; the result is a view of it (padding bytes are re-zeroed, so the
+    view is bit-identical to a fresh allocation).
     """
     q = np.ascontiguousarray(query_ids, dtype=np.uint8)
     s = np.ascontiguousarray(set_ids, dtype=np.uint32)
@@ -61,7 +66,15 @@ def pack_results(query_ids: np.ndarray, set_ids: np.ndarray) -> np.ndarray:
         raise ValidationError("query_ids and set_ids must be equal-length 1-D arrays")
     n = q.shape[0]
     full, tail = divmod(n, GROUP)
-    out = np.zeros(packed_size(n), dtype=np.uint8)
+    nbytes = packed_size(n)
+    if out is None:
+        out = np.zeros(nbytes, dtype=np.uint8)
+    else:
+        if out.ndim != 1 or out.dtype != np.uint8 or out.shape[0] < nbytes:
+            raise ValidationError(
+                f"pack_results out buffer too small for {n} pairs ({nbytes} bytes)"
+            )
+        out = out[:nbytes]
     if full:
         groups = out[: full * _GROUP_BYTES].reshape(full, _GROUP_BYTES)
         groups[:, :GROUP] = q[: full * GROUP].reshape(full, GROUP)
@@ -71,13 +84,24 @@ def pack_results(query_ids: np.ndarray, set_ids: np.ndarray) -> np.ndarray:
     if tail:
         rest = out[full * _GROUP_BYTES :]
         rest[:tail] = q[full * GROUP :]
+        rest[tail:GROUP] = 0  # unused query-id padding of the partial group
         rest[GROUP : GROUP + 4 * tail] = s[full * GROUP :].astype("<u4").view(np.uint8)
     return out
 
 
-def unpack_results(packed: np.ndarray, num_pairs: int) -> tuple[np.ndarray, np.ndarray]:
+def unpack_results(
+    packed: np.ndarray,
+    num_pairs: int,
+    out: tuple[np.ndarray, np.ndarray] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
     """Inverse of :func:`pack_results`; needs the pair count (transferred
-    through the double-buffer length slot, §3.3.2)."""
+    through the double-buffer length slot, §3.3.2).
+
+    ``out``, when given, is a ``(query_buf, set_buf)`` pair of
+    preallocated uint8/uint32 arrays with capacity ≥ ``num_pairs``; the
+    returned arrays are views of them, so a lookup thread can reuse one
+    unpack scratch across every delivered batch.
+    """
     buf = np.ascontiguousarray(packed, dtype=np.uint8)
     expected = packed_size(num_pairs)
     if buf.shape[0] < expected:
@@ -85,8 +109,17 @@ def unpack_results(packed: np.ndarray, num_pairs: int) -> tuple[np.ndarray, np.n
             f"packed buffer of {buf.shape[0]} bytes too small for "
             f"{num_pairs} pairs ({expected} bytes)"
         )
-    q = np.empty(num_pairs, dtype=np.uint8)
-    s = np.empty(num_pairs, dtype=np.uint32)
+    if out is None:
+        q = np.empty(num_pairs, dtype=np.uint8)
+        s = np.empty(num_pairs, dtype=np.uint32)
+    else:
+        q_buf, s_buf = out
+        if q_buf.shape[0] < num_pairs or s_buf.shape[0] < num_pairs:
+            raise ValidationError(
+                f"unpack_results out buffers too small for {num_pairs} pairs"
+            )
+        q = q_buf[:num_pairs]
+        s = s_buf[:num_pairs]
     full, tail = divmod(num_pairs, GROUP)
     if full:
         groups = buf[: full * _GROUP_BYTES].reshape(full, _GROUP_BYTES)

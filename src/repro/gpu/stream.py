@@ -74,6 +74,7 @@ class Stream:
         self.ops_enqueued = 0
         self.ops_completed = 0
         self.busy_s = 0.0
+        self._arena = None
         self._worker = threading.Thread(
             target=self._drain,
             name=f"gpu{getattr(device, 'device_id', '?')}-stream{stream_id}",
@@ -105,6 +106,23 @@ class Stream:
     def depth(self) -> int:
         """Ops submitted but not yet finished (approximate, diagnostic)."""
         return max(0, self.ops_enqueued - self.ops_completed)
+
+    @property
+    def arena(self):
+        """This stream's reusable kernel output arena.
+
+        A stream executes its operations strictly in FIFO order, so at
+        most one kernel invocation is ever writing into the arena — the
+        result buffers are recycled across invocations without any
+        per-launch allocation (§3.3.1's device-side output vector, kept
+        resident instead of re-allocated).  Created lazily so streams
+        that never run kernels pay nothing.
+        """
+        if self._arena is None:
+            from repro.gpu.kernels import ResultArena
+
+            self._arena = ResultArena()
+        return self._arena
 
     def synchronize(self, timeout: float | None = None) -> None:
         """Block until every operation enqueued so far has completed."""

@@ -71,11 +71,17 @@ class DeviceClock:
     transfer_s: float = 0.0
     atomic_s: float = 0.0
     random_access_s: float = 0.0
+    #: Kernel launches charged so far.  A fused multi-partition launch
+    #: counts once — comparing this against the number of *partition*
+    #: batches dispatched is exactly the launch amortisation the fused
+    #: path buys (§3.3.2 motivates streams with launch overhead).
+    launches: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def add_kernel(self, seconds: float) -> None:
         with self._lock:
             self.kernel_s += seconds
+            self.launches += 1
 
     def add_transfer(self, seconds: float) -> None:
         with self._lock:
@@ -100,6 +106,7 @@ class DeviceClock:
             self.transfer_s = 0.0
             self.atomic_s = 0.0
             self.random_access_s = 0.0
+            self.launches = 0
 
     def snapshot(self) -> dict[str, float]:
         """A consistent copy of all counters (for reports)."""
@@ -109,4 +116,5 @@ class DeviceClock:
                 "transfer_s": self.transfer_s,
                 "atomic_s": self.atomic_s,
                 "random_access_s": self.random_access_s,
+                "launches": float(self.launches),
             }

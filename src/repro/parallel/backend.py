@@ -66,6 +66,7 @@ class KernelParams:
     thread_block_size: int
     prefilter: bool
     cost_model: CostModel
+    coarse_prefilter: bool = True
 
     @classmethod
     def from_config(cls, config) -> "KernelParams":
@@ -73,6 +74,7 @@ class KernelParams:
             thread_block_size=config.thread_block_size,
             prefilter=config.prefilter,
             cost_model=config.cost_model,
+            coarse_prefilter=config.coarse_prefilter,
         )
 
 
@@ -95,9 +97,14 @@ class ExecutionBackend:
     name: str = "abstract"
 
     def run_kernel(
-        self, partition_id: int, queries: np.ndarray, residency=None
+        self, unit_id: int, queries: np.ndarray, residency=None, arena=None
     ) -> KernelOutput:
-        """Match one query batch against one partition (blocking)."""
+        """Match one query batch against one dispatch unit (blocking).
+
+        ``arena``, when given and the kernel runs in-process, is the
+        caller's reusable :class:`~repro.gpu.kernels.ResultArena`
+        (process workers keep their own resident arena instead).
+        """
         raise NotImplementedError
 
     def relevant_matrix(self, queries: np.ndarray) -> np.ndarray | None:
@@ -127,9 +134,11 @@ class _LocalKernel:
         self._table = tagset_table
         self._params = params
 
-    def _compute(self, partition_id: int, queries: np.ndarray, residency) -> KernelOutput:
+    def _compute(
+        self, unit_id: int, queries: np.ndarray, residency, arena=None
+    ) -> KernelOutput:
         if residency is None:
-            residency = self._table.residency(partition_id)
+            residency = self._table.unit_residency(unit_id)
         result = subset_match_kernel(
             residency.sets.array(),
             residency.ids.array(),
@@ -139,8 +148,20 @@ class _LocalKernel:
             cost_model=self._params.cost_model,
             clock=None,
             prefixes=residency.prefixes.array(),
+            block_offsets=residency.block_offsets.array(),
+            member_commons=residency.commons.array(),
+            member_of_block=residency.member_of_block.array(),
+            coarse=self._params.coarse_prefilter,
+            arena=arena,
         )
-        packed = pack_results(result.query_ids, result.set_ids)
+        # With a caller arena the packed bytes live in its resident
+        # buffer; the double-buffer push copies them out before the
+        # stream runs another kernel, so the view never goes stale.
+        packed = (
+            arena.pack()
+            if arena is not None
+            else pack_results(result.query_ids, result.set_ids)
+        )
         return KernelOutput(
             packed=packed,
             num_pairs=result.stats.num_pairs,
@@ -153,8 +174,8 @@ class InlineBackend(_LocalKernel, ExecutionBackend):
 
     name = "inline"
 
-    def run_kernel(self, partition_id, queries, residency=None) -> KernelOutput:
-        return self._compute(partition_id, queries, residency)
+    def run_kernel(self, unit_id, queries, residency=None, arena=None) -> KernelOutput:
+        return self._compute(unit_id, queries, residency, arena)
 
 
 class ThreadBackend(_LocalKernel, ExecutionBackend):
@@ -175,8 +196,10 @@ class ThreadBackend(_LocalKernel, ExecutionBackend):
     def workers(self) -> int:
         return self._workers
 
-    def run_kernel(self, partition_id, queries, residency=None) -> KernelOutput:
-        future = self._executor.submit(self._compute, partition_id, queries, residency)
+    def run_kernel(self, unit_id, queries, residency=None, arena=None) -> KernelOutput:
+        # The stream op blocks on the future, so the caller's arena is
+        # written by exactly one pool thread at a time.
+        future = self._executor.submit(self._compute, unit_id, queries, residency, arena)
         return future.result(timeout=_KERNEL_TIMEOUT_S)
 
     def close(self) -> None:
@@ -204,12 +227,15 @@ class ProcessBackend(ExecutionBackend):
         start_method: str | None = None,
     ) -> None:
         arrays: dict[str, np.ndarray] = {}
-        for pid, (sets, ids, prefixes) in enumerate(
-            tagset_table.host_partition_arrays()
+        for uid, (sets, ids, prefixes, offsets, commons, members) in enumerate(
+            tagset_table.host_unit_arrays()
         ):
-            arrays[f"p{pid}/sets"] = sets
-            arrays[f"p{pid}/ids"] = ids
-            arrays[f"p{pid}/prefixes"] = prefixes
+            arrays[f"u{uid}/sets"] = sets
+            arrays[f"u{uid}/ids"] = ids
+            arrays[f"u{uid}/prefixes"] = prefixes
+            arrays[f"u{uid}/offsets"] = offsets
+            arrays[f"u{uid}/commons"] = commons
+            arrays[f"u{uid}/members"] = members
         self._preprocess = bool(preprocess and partition_table is not None)
         if self._preprocess:
             arrays["pt/masks"] = partition_table.dense_masks
@@ -226,8 +252,10 @@ class ProcessBackend(ExecutionBackend):
     def workers(self) -> int:
         return self.pool.num_workers
 
-    def run_kernel(self, partition_id, queries, residency=None) -> KernelOutput:
-        task = self.pool.submit("kernel", (partition_id, np.ascontiguousarray(queries)))
+    def run_kernel(self, unit_id, queries, residency=None, arena=None) -> KernelOutput:
+        # ``arena`` is ignored: workers keep their own process-resident
+        # arena, and the packed bytes cross the pipe as a copy anyway.
+        task = self.pool.submit("kernel", (unit_id, np.ascontiguousarray(queries)))
         packed_bytes, num_pairs, simulated = task.wait(timeout=_KERNEL_TIMEOUT_S)
         return KernelOutput(
             packed=np.frombuffer(packed_bytes, dtype=np.uint8),

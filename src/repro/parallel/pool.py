@@ -60,25 +60,38 @@ def default_start_method() -> str:
     return "forkserver" if "forkserver" in methods else "spawn"
 
 
+#: Per-worker-process resident output arena: a worker executes tasks
+#: strictly sequentially, so one arena serves every kernel it runs
+#: (the packed bytes leave the process as a copy via ``tobytes``).
+_WORKER_ARENA = None
+
+
 def _execute_task(kind: str, payload: Any, views: dict[str, np.ndarray], params) -> Any:
     """Run one task against the shared views (worker side)."""
     from repro.bloom.ops import containment_matrix
-    from repro.gpu.kernels import subset_match_kernel
-    from repro.gpu.packing import pack_results
+    from repro.gpu.kernels import ResultArena, subset_match_kernel
 
     if kind == "kernel":
-        partition_id, queries = payload
+        global _WORKER_ARENA
+        if _WORKER_ARENA is None:
+            _WORKER_ARENA = ResultArena()
+        unit_id, queries = payload
         result = subset_match_kernel(
-            views[f"p{partition_id}/sets"],
-            views[f"p{partition_id}/ids"],
+            views[f"u{unit_id}/sets"],
+            views[f"u{unit_id}/ids"],
             queries,
             thread_block_size=params.thread_block_size,
             prefilter=params.prefilter,
             cost_model=params.cost_model,
             clock=None,
-            prefixes=views[f"p{partition_id}/prefixes"],
+            prefixes=views[f"u{unit_id}/prefixes"],
+            block_offsets=views[f"u{unit_id}/offsets"],
+            member_commons=views[f"u{unit_id}/commons"],
+            member_of_block=views[f"u{unit_id}/members"],
+            coarse=getattr(params, "coarse_prefilter", True),
+            arena=_WORKER_ARENA,
         )
-        packed = pack_results(result.query_ids, result.set_ids)
+        packed = _WORKER_ARENA.pack()
         return (packed.tobytes(), result.stats.num_pairs, result.stats.simulated_time_s)
     if kind == "preprocess":
         queries = payload

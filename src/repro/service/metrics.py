@@ -51,6 +51,7 @@ class ServiceMetrics:
         inflight: int,
         deadline_s: float,
         connections: int,
+        memo: dict | None = None,
     ) -> dict:
         elapsed = max(time.perf_counter() - self.started_at, 1e-9)
         lat = np.array(self.latencies_s, dtype=np.float64) * 1e3
@@ -83,4 +84,7 @@ class ServiceMetrics:
             "reconsolidations": self.reconsolidations,
             "inflight": inflight,
             "connections": connections,
+            #: Duplicate-query memo hit/miss counters; ``None`` when the
+            #: engine runs with ``query_memo_size == 0``.
+            "memo": memo,
         }

@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.batch import Batch
 from repro.core.config import ServiceConfig
 from repro.core.engine import TagMatch
+from repro.core.memo import QueryMemo
 from repro.errors import ValidationError
 from repro.service.batcher import AdaptiveDeadline, IngressBatcher
 from repro.service.delta import DeltaStore, DeltaView, apply_delta
@@ -94,6 +95,16 @@ class MatchServer:
                 self.config.min_deadline_s,
                 self.config.max_deadline_s,
             ),
+        )
+        #: Duplicate-query memoization (§4.2.1's repeated interests): a
+        #: firehose message whose signature was already matched against
+        #: the current epoch skips the device entirely.  Only frozen
+        #: (pre-delta-overlay, multiset) results are cached; the overlay
+        #: is applied per request, so live subscribes are never masked.
+        self._memo = (
+            QueryMemo(engine.config.query_memo_size)
+            if engine.config.query_memo_size > 0
+            else None
         )
         self._conns: set[_Conn] = set()
         self._inflight = 0
@@ -320,15 +331,51 @@ class MatchServer:
         subtraction is exact; per-query ``unique`` is applied after the
         overlay.  No inner flush timeout: the ingress batcher already
         decided this batch's latency budget.
+
+        With memoization on, signatures already matched against this
+        epoch are served from the LRU and only the misses ride the
+        pipeline (a fully memoized batch never touches the device).
         """
-        run = engine.match_stream(
-            blocks,
-            unique=False,
-            num_threads=self.config.match_threads,
-            batch_timeout_s=None,
-        )
-        results = apply_delta(run.results, blocks, view, unique_flags)
-        return results, run.epoch
+        epoch = engine.epoch
+        if self._memo is None:
+            run = engine.match_stream(
+                blocks,
+                unique=False,
+                num_threads=self.config.match_threads,
+                batch_timeout_s=None,
+            )
+            results = apply_delta(run.results, blocks, view, unique_flags)
+            return results, run.epoch
+
+        frozen: list[np.ndarray | None] = [None] * len(blocks)
+        miss_slots: dict[bytes, list[int]] = {}
+        for i, row in enumerate(blocks):
+            signature = row.tobytes()
+            cached = self._memo.get(epoch, signature)
+            if cached is not None:
+                frozen[i] = cached
+            else:
+                miss_slots.setdefault(signature, []).append(i)
+        if miss_slots:
+            signatures = list(miss_slots)
+            miss_blocks = np.vstack(
+                [np.frombuffer(s, dtype=np.uint64) for s in signatures]
+            )
+            run = engine.match_stream(
+                miss_blocks,
+                unique=False,
+                num_threads=self.config.match_threads,
+                batch_timeout_s=None,
+            )
+            epoch = run.epoch
+            for signature, keys in zip(signatures, run.results):
+                # Frozen multiset keys only: callers overlay the delta on
+                # top, so the cached value stays valid for the epoch.
+                self._memo.put(epoch, signature, keys)
+                for slot in miss_slots[signature]:
+                    frozen[slot] = keys
+        results = apply_delta(frozen, blocks, view, unique_flags)
+        return results, epoch
 
     # ------------------------------------------------------------------
     # Epoch swap / reconsolidation
@@ -435,6 +482,7 @@ class MatchServer:
             inflight=self._inflight,
             deadline_s=self._batcher.deadline.current_s,
             connections=len(self._conns),
+            memo=self._memo.stats() if self._memo is not None else None,
         )
 
 

@@ -1,0 +1,66 @@
+"""Unit tests for the duplicate-query LRU memo."""
+
+import numpy as np
+import pytest
+
+from repro.core.memo import QueryMemo
+from repro.errors import ValidationError
+
+
+def keys(*vals):
+    return np.array(vals, dtype=np.int64)
+
+
+def test_miss_then_hit_counts():
+    memo = QueryMemo(4)
+    assert memo.get(1, b"q") is None
+    memo.put(1, b"q", keys(1, 2))
+    np.testing.assert_array_equal(memo.get(1, b"q"), keys(1, 2))
+    assert memo.stats() == {"size": 1, "capacity": 4, "hits": 1, "misses": 1}
+
+
+def test_epoch_keys_are_disjoint():
+    memo = QueryMemo(4)
+    memo.put(1, b"q", keys(1))
+    assert memo.get(2, b"q") is None  # epoch bump invalidates
+    memo.put(2, b"q", keys(9))
+    np.testing.assert_array_equal(memo.get(1, b"q"), keys(1))
+    np.testing.assert_array_equal(memo.get(2, b"q"), keys(9))
+
+
+def test_lru_eviction_order():
+    memo = QueryMemo(2)
+    memo.put(1, b"a", keys(1))
+    memo.put(1, b"b", keys(2))
+    memo.get(1, b"a")  # refresh "a": "b" becomes LRU
+    memo.put(1, b"c", keys(3))
+    assert memo.get(1, b"b") is None
+    assert memo.get(1, b"a") is not None
+    assert memo.get(1, b"c") is not None
+    assert len(memo) == 2
+
+
+def test_put_refreshes_existing_entry():
+    memo = QueryMemo(2)
+    memo.put(1, b"a", keys(1))
+    memo.put(1, b"b", keys(2))
+    memo.put(1, b"a", keys(7))  # update, not insert: "b" stays LRU
+    memo.put(1, b"c", keys(3))
+    assert memo.get(1, b"b") is None
+    np.testing.assert_array_equal(memo.get(1, b"a"), keys(7))
+
+
+def test_clear_empties_but_keeps_counters():
+    memo = QueryMemo(4)
+    memo.put(1, b"a", keys(1))
+    memo.get(1, b"a")
+    memo.clear()
+    assert len(memo) == 0
+    assert memo.get(1, b"a") is None
+    assert memo.stats()["hits"] == 1
+
+
+@pytest.mark.parametrize("capacity", [0, -3])
+def test_nonpositive_capacity_rejected(capacity):
+    with pytest.raises(ValidationError):
+        QueryMemo(capacity)

@@ -1,0 +1,135 @@
+"""Duplicate-query memoization at the serving layer.
+
+The memo may only cache frozen-index results; the live delta overlay is
+applied per request on top.  These tests pin that contract: a memo-on
+server answers every publish identically to a memo-off server across
+subscribe/unsubscribe churn, hits accumulate on repeated signatures, and
+a reconsolidation (epoch bump) invalidates without explicit flushes.
+"""
+
+import asyncio
+
+from repro.core.config import ServiceConfig, TagMatchConfig
+from repro.core.engine import TagMatch
+from repro.service.protocol import ServiceClient
+from repro.service.server import MatchServer
+
+ASSOCIATIONS = [(("a", "b"), 1), (("a", "b"), 1), (("b", "c"), 2), (("d",), 3)]
+
+
+def _engine(query_memo_size: int) -> TagMatch:
+    engine = TagMatch(
+        TagMatchConfig(
+            max_partition_size=8,
+            num_gpus=1,
+            batch_timeout_s=None,
+            query_memo_size=query_memo_size,
+        )
+    )
+    for tags, key in ASSOCIATIONS:
+        engine.add_set(tags, key=key)
+    engine.consolidate()
+    return engine
+
+
+async def _serve(query_memo_size: int, **overrides):
+    defaults = dict(
+        port=0,
+        batch_deadline_s=0.005,
+        min_deadline_s=0.001,
+        max_deadline_s=0.05,
+        reconsolidate_threshold=0,
+    )
+    defaults.update(overrides)
+    server = MatchServer(_engine(query_memo_size), ServiceConfig(**defaults))
+    await server.start()
+    client = await ServiceClient.connect("127.0.0.1", server.port)
+    return server, client
+
+
+def test_memo_on_matches_memo_off_through_delta_churn():
+    async def run():
+        on_server, on = await _serve(query_memo_size=64)
+        off_server, off = await _serve(query_memo_size=0)
+        try:
+            publishes = [["a", "b"], ["b", "c"], ["d"], ["a", "b"], ["z"]]
+
+            async def both(coro_factory):
+                return await asyncio.gather(coro_factory(on), coro_factory(off))
+
+            async def check_all():
+                for tags in publishes:
+                    (k1, _), (k2, _) = await both(lambda c, t=tags: c.publish(t))
+                    assert sorted(k1) == sorted(k2), tags
+                    (k1, _), (k2, _) = await both(
+                        lambda c, t=tags: c.publish(t, unique=True)
+                    )
+                    assert sorted(k1) == sorted(k2), tags
+
+            await check_all()  # cold: everything misses + fills
+            await check_all()  # warm: pure memo hits must still agree
+
+            # Delta churn: the memo holds frozen results, the overlay must
+            # still reflect every live add/remove.
+            await both(lambda c: c.subscribe(["a"], key=7))
+            await check_all()
+            await both(lambda c: c.unsubscribe(["a", "b"], key=1))
+            await check_all()
+            await both(lambda c: c.unsubscribe(["a"], key=7))
+            await check_all()
+
+            stats = await on.stats()
+            assert stats["memo"] is not None
+            assert stats["memo"]["hits"] > 0
+            assert stats["memo"]["size"] > 0
+            off_stats = await off.stats()
+            assert off_stats["memo"] is None
+        finally:
+            await on.close()
+            await off.close()
+            await on_server.shutdown()
+            await off_server.shutdown()
+
+    asyncio.run(run())
+
+
+def test_repeated_signature_hits_accumulate():
+    async def run():
+        server, client = await _serve(query_memo_size=64)
+        try:
+            for _ in range(5):
+                keys, _ = await client.publish(["a", "b"])
+                assert sorted(keys) == [1, 1]
+            stats = (await client.stats())["memo"]
+            assert stats["hits"] >= 4
+            assert stats["misses"] >= 1
+        finally:
+            await client.close()
+            await server.shutdown()
+
+    asyncio.run(run())
+
+
+def test_reconsolidation_invalidates_memo_by_epoch():
+    async def run():
+        server, client = await _serve(query_memo_size=64)
+        try:
+            keys, epoch0 = await client.publish(["a", "b"])
+            assert sorted(keys) == [1, 1]
+            await client.subscribe(["a", "b"], key=9)
+            keys, _ = await client.publish(["a", "b"])
+            assert sorted(keys) == [1, 1, 9]
+
+            # Folding the delta bumps the epoch; the stale frozen entry
+            # for this signature must not resurface.
+            epoch1 = await client.reconsolidate()
+            assert epoch1 > epoch0
+            for _ in range(2):  # miss-then-hit against the new epoch
+                keys, epoch = await client.publish(["a", "b"])
+                assert sorted(keys) == [1, 1, 9]
+                assert epoch == epoch1
+        finally:
+            await client.close()
+            await server.shutdown()
+
+    asyncio.run(run())
