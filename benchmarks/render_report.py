@@ -52,6 +52,7 @@ ORDER = [
     "backend_scaling",
     "kernel_hotpath",
     "service_throughput",
+    "obs_overhead",
 ]
 
 

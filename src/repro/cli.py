@@ -16,6 +16,9 @@ Commands
 ``serve``
     Run the online pub/sub matching server (``repro.service``) over a
     snapshot or a freshly built index, until SIGINT.
+``trace``
+    Fetch the per-stage span summary from a running server and render
+    it as a flame-style text chart.
 ``loadgen``
     Drive an open-loop Poisson burst against a running server.
 """
@@ -110,6 +113,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-on-exit",
         default=None,
         help="fold the delta and save a snapshot here on shutdown",
+    )
+    p_serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="expose Prometheus plaintext metrics on this port (0 = ephemeral)",
+    )
+    p_serve.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable the span tracer (drops per-stage latency histograms)",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="per-stage flame summary from a running server"
+    )
+    p_trace.add_argument("--host", default="127.0.0.1")
+    p_trace.add_argument("--port", type=int, default=7311)
+    p_trace.add_argument(
+        "--limit", type=int, default=2048, help="recent spans to aggregate"
     )
 
     p_loadgen = sub.add_parser("loadgen", help="open-loop load against a server")
@@ -234,10 +257,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_deadline_s=args.deadline_ms / 1e3,
         max_inflight=args.max_inflight,
         reconsolidate_threshold=args.reconsolidate_threshold,
+        metrics_port=args.metrics_port,
+        trace=not args.no_trace,
     )
 
     def ready(server) -> None:
         print(f"serving on {args.host}:{server.port} (ctrl-C to stop)", flush=True)
+        if server.metrics_port is not None:
+            print(
+                f"metrics on http://{args.host}:{server.metrics_port}/metrics",
+                flush=True,
+            )
 
     asyncio.run(
         serve_until_interrupted(
@@ -245,6 +275,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     )
     print("server stopped")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.obs.export import format_flame
+    from repro.service.protocol import ServiceClient
+
+    async def fetch() -> dict:
+        async with await ServiceClient.connect(args.host, args.port) as client:
+            return await client.trace(limit=args.limit)
+
+    summary = asyncio.run(fetch())
+    if not summary.get("enabled", False):
+        print("tracing is disabled on the server (started with --no-trace)")
+    print(
+        f"spans recorded: {summary.get('span_count', 0)} "
+        f"(window: last {summary.get('window', 0)})"
+    )
+    print(format_flame(summary.get("stages", {})))
     return 0
 
 
@@ -291,6 +342,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "match": _cmd_match,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
     "loadgen": _cmd_loadgen,
 }
 

@@ -197,9 +197,21 @@ class ServiceConfig:
     reconsolidate_interval_s:
         How often the background task checks the threshold.
     latency_window:
-        Publishes kept in the latency reservoir for the stats verb.
+        Retained for compatibility with the seed's latency reservoir;
+        the fixed-bucket histograms need no sample window.
     max_frame_bytes:
         Hard cap on one protocol frame (guards the length prefix).
+    trace:
+        Enable the span tracer while serving: per-stage latency
+        histograms in ``stats``/Prometheus and the ``trace`` verb.
+        Costs one ring-buffer append per stage event (<5 % throughput,
+        see ``benchmarks/bench_obs_overhead.py``).
+    metrics_port:
+        ``None`` disables the Prometheus endpoint; ``0`` binds an
+        ephemeral port (tests); otherwise the plaintext exposition
+        listens on ``(host, metrics_port)``.
+    rate_window_s:
+        Sliding window of the ``qps`` estimate in the stats verb.
     """
 
     host: str = "127.0.0.1"
@@ -215,6 +227,9 @@ class ServiceConfig:
     reconsolidate_interval_s: float = 0.25
     latency_window: int = 4096
     max_frame_bytes: int = 8 * 1024 * 1024
+    trace: bool = True
+    metrics_port: int | None = None
+    rate_window_s: float = 30.0
 
     def __post_init__(self) -> None:
         if not 1 <= self.ingress_batch_size <= 256:
@@ -246,3 +261,9 @@ class ServiceConfig:
             raise ValidationError("latency_window must be positive")
         if self.max_frame_bytes <= 0:
             raise ValidationError("max_frame_bytes must be positive")
+        if self.metrics_port is not None and not 0 <= self.metrics_port <= 65535:
+            raise ValidationError(
+                f"metrics_port must be in [0, 65535] when given, got {self.metrics_port}"
+            )
+        if self.rate_window_s <= 0:
+            raise ValidationError("rate_window_s must be positive")

@@ -28,8 +28,11 @@ __all__ = ["QueryMemo"]
 class QueryMemo:
     """Thread-safe LRU of per-signature match results.
 
-    Values are the frozen-index key arrays; callers must treat them as
-    read-only (the serving layer copies before applying delta overlays).
+    Values are the frozen-index key arrays.  :meth:`put` freezes them
+    (``writeable=False``) and :meth:`get` hands out read-only views, so
+    a caller that forgets to copy before mutating gets an immediate
+    ``ValueError`` instead of silently corrupting every later hit for
+    the same signature.
     """
 
     def __init__(self, capacity: int) -> None:
@@ -53,14 +56,23 @@ class QueryMemo:
             self.hits += 1
             return keys
 
-    def put(self, epoch: int, signature: bytes, keys: np.ndarray) -> None:
-        """Memoize one frozen-index result, evicting the LRU entry."""
+    def put(self, epoch: int, signature: bytes, keys: np.ndarray) -> np.ndarray:
+        """Memoize one frozen-index result, evicting the LRU entry.
+
+        The stored array is a frozen view: the caller keeps its own
+        writable reference untouched, but every array the memo hands
+        back refuses in-place mutation.  Returns the frozen view so
+        callers can propagate it instead of the writable original.
+        """
+        stored = keys.view()
+        stored.setflags(write=False)
         key = (epoch, signature)
         with self._lock:
-            self._entries[key] = keys
+            self._entries[key] = stored
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+        return stored
 
     def __len__(self) -> int:
         with self._lock:

@@ -32,6 +32,7 @@ from repro.core.results import QueryState
 from repro.core.tagset_table import TagsetTable
 from repro.errors import ReproError
 from repro.gpu.doublebuffer import CycleResult, DoubleBufferedResults
+from repro.obs import trace
 from repro.gpu.packing import unpack_results
 from repro.gpu.stream import Stream
 from repro.parallel.backend import ExecutionBackend, InlineBackend, KernelParams
@@ -301,44 +302,45 @@ class MatchPipeline:
                 chunk = work.get()
                 if chunk is None:
                     return
-                rows = query_blocks[chunk]
-                # Vectorized Algorithm 2 over the whole chunk: one dense
-                # scan of the compact mask matrix, optionally offloaded
-                # to the execution backend's worker pool.
-                matrix = backend.relevant_matrix(rows)
-                if matrix is None:
-                    matrix = self.partition_table.relevant_matrix(rows)
-                if fused:
-                    # Collapse partition columns to dispatch units: a
-                    # unit is relevant when any member partition is.
-                    matrix = np.logical_or.reduceat(matrix, unit_starts, axis=1)
-                counts = matrix.sum(axis=1)
-                chunk_states: list[QueryState] = []
-                for local, qi in enumerate(chunk):
-                    state = states[qi]
-                    assert state is not None
-                    chunk_states.append(state)
-                    if counts[local]:
-                        state.add_batches(int(counts[local]))
-                q_local, p_idx = np.nonzero(matrix)
-                if p_idx.size:
-                    order = np.argsort(p_idx, kind="stable")
-                    q_sorted = q_local[order]
-                    p_sorted = p_idx[order]
-                    boundaries = np.nonzero(np.diff(p_sorted))[0] + 1
-                    starts = np.concatenate(([0], boundaries))
-                    ends = np.concatenate((boundaries, [p_sorted.size]))
-                    for gs, ge in zip(starts, ends):
-                        pid = int(p_sorted[gs])
-                        members = q_sorted[gs:ge]
-                        full_batches = batchers[pid].add_many(
-                            rows[members],
-                            [chunk_states[m] for m in members],
-                        )
-                        for full in full_batches:
-                            dispatch(full, "full")
-                for state in chunk_states:
-                    state.preprocess_complete()
+                with trace.span("pre_process", queries=int(chunk.size)):
+                    rows = query_blocks[chunk]
+                    # Vectorized Algorithm 2 over the whole chunk: one
+                    # dense scan of the compact mask matrix, optionally
+                    # offloaded to the execution backend's worker pool.
+                    matrix = backend.relevant_matrix(rows)
+                    if matrix is None:
+                        matrix = self.partition_table.relevant_matrix(rows)
+                    if fused:
+                        # Collapse partition columns to dispatch units: a
+                        # unit is relevant when any member partition is.
+                        matrix = np.logical_or.reduceat(matrix, unit_starts, axis=1)
+                    counts = matrix.sum(axis=1)
+                    chunk_states: list[QueryState] = []
+                    for local, qi in enumerate(chunk):
+                        state = states[qi]
+                        assert state is not None
+                        chunk_states.append(state)
+                        if counts[local]:
+                            state.add_batches(int(counts[local]))
+                    q_local, p_idx = np.nonzero(matrix)
+                    if p_idx.size:
+                        order = np.argsort(p_idx, kind="stable")
+                        q_sorted = q_local[order]
+                        p_sorted = p_idx[order]
+                        boundaries = np.nonzero(np.diff(p_sorted))[0] + 1
+                        starts = np.concatenate(([0], boundaries))
+                        ends = np.concatenate((boundaries, [p_sorted.size]))
+                        for gs, ge in zip(starts, ends):
+                            pid = int(p_sorted[gs])
+                            members = q_sorted[gs:ge]
+                            full_batches = batchers[pid].add_many(
+                                rows[members],
+                                [chunk_states[m] for m in members],
+                            )
+                            for full in full_batches:
+                                dispatch(full, "full")
+                    for state in chunk_states:
+                        state.preprocess_complete()
                 if also_lookup:
                     drain_completions()
 
@@ -507,27 +509,28 @@ class MatchPipeline:
         representative.  Without memoization ``inverse`` is ``None`` and
         slots map one-to-one.
         """
-        batch_states, inverse = cycle.meta
-        num_slots = len(batch_states) if inverse is None else int(inverse.max()) + 1
-        empty = np.empty(0, dtype=np.int64)
-        if cycle.num_pairs == 0:
-            for state in batch_states:
-                state.deliver_keys(empty)
-            return
-        q_ids, set_ids = unpack_results(
-            cycle.packed, cycle.num_pairs, out=self._unpack_scratch(cycle.num_pairs)
-        )
-        seen = np.zeros(num_slots, dtype=bool)
-        chunks: list[np.ndarray | None] = [None] * num_slots
-        for local_q, chunk in grouped_key_lookup(
-            q_ids, set_ids.astype(np.int64), self.key_table
-        ):
-            chunks[local_q] = chunk
-            seen[local_q] = True
-        if inverse is None:
-            for local_q, state in enumerate(batch_states):
-                state.deliver_keys(chunks[local_q] if seen[local_q] else empty)
-        else:
-            for slot, state in enumerate(batch_states):
-                local_q = int(inverse[slot])
-                state.deliver_keys(chunks[local_q] if seen[local_q] else empty)
+        with trace.span("post_process", pairs=int(cycle.num_pairs)):
+            batch_states, inverse = cycle.meta
+            num_slots = len(batch_states) if inverse is None else int(inverse.max()) + 1
+            empty = np.empty(0, dtype=np.int64)
+            if cycle.num_pairs == 0:
+                for state in batch_states:
+                    state.deliver_keys(empty)
+                return
+            q_ids, set_ids = unpack_results(
+                cycle.packed, cycle.num_pairs, out=self._unpack_scratch(cycle.num_pairs)
+            )
+            seen = np.zeros(num_slots, dtype=bool)
+            chunks: list[np.ndarray | None] = [None] * num_slots
+            for local_q, chunk in grouped_key_lookup(
+                q_ids, set_ids.astype(np.int64), self.key_table
+            ):
+                chunks[local_q] = chunk
+                seen[local_q] = True
+            if inverse is None:
+                for local_q, state in enumerate(batch_states):
+                    state.deliver_keys(chunks[local_q] if seen[local_q] else empty)
+            else:
+                for slot, state in enumerate(batch_states):
+                    local_q = int(inverse[slot])
+                    state.deliver_keys(chunks[local_q] if seen[local_q] else empty)

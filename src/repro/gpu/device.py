@@ -13,6 +13,7 @@ from __future__ import annotations
 import contextlib
 import queue
 import threading
+from time import perf_counter
 from typing import Iterator
 
 import numpy as np
@@ -26,6 +27,7 @@ from repro.gpu.memory import (
 )
 from repro.gpu.stream import Stream
 from repro.gpu.timing import CostModel, DeviceClock
+from repro.obs import trace
 
 __all__ = ["Device", "DEFAULT_DEVICE_MEMORY", "DEFAULT_STREAMS_PER_DEVICE"]
 
@@ -109,7 +111,24 @@ class Device:
 
     def _charge_transfer(self, direction: TransferDirection, nbytes: int) -> None:
         self.transfers.record(direction, nbytes)
-        self.clock.add_transfer(self.cost_model.transfer_time(nbytes))
+        seconds = self.cost_model.transfer_time(nbytes)
+        self.clock.add_transfer(seconds)
+        if trace.is_enabled():
+            # The span duration is the *simulated* PCIe time — the
+            # quantity the paper's stage breakdown attributes to
+            # transfers; the host-side memcpy wall time is not the
+            # modelled cost (DESIGN.md §1).
+            trace.record(
+                "transfer",
+                perf_counter(),
+                seconds,
+                {
+                    "direction": direction.value,
+                    "nbytes": int(nbytes),
+                    "device": self.device_id,
+                    "simulated": True,
+                },
+            )
 
     # ------------------------------------------------------------------
     # Streams

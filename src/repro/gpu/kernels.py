@@ -33,6 +33,7 @@ Three hot-path refinements sit on top of the seed kernel:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -41,6 +42,7 @@ from repro.bloom.ops import containment_matrix
 from repro.errors import ValidationError
 from repro.gpu.packing import pack_results, packed_size
 from repro.gpu.timing import CostModel, DeviceClock
+from repro.obs import trace
 
 __all__ = [
     "KernelStats",
@@ -352,6 +354,11 @@ def subset_match_kernel(
             np.empty(0, dtype=np.uint8), np.empty(0, dtype=np.uint32), empty_stats
         )
 
+    # One launch == one span: fused launches record once for the whole
+    # dispatch unit, so span counts mirror the launch amortisation the
+    # cost model charges (§3.3.2).  Disabled tracing costs one flag read.
+    launch_t0 = perf_counter() if trace.is_enabled() else 0.0
+
     ids = np.ascontiguousarray(set_ids, dtype=np.uint32)
     if block_offsets is None:
         starts = np.arange(0, n, thread_block_size, dtype=np.int64)
@@ -465,6 +472,19 @@ def subset_match_kernel(
         simulated += query_ids.size * cost_model.atomic_op_s
         if clock is not None:
             clock.add_kernel(simulated)
+
+    if launch_t0:
+        trace.record(
+            "kernel",
+            launch_t0,
+            perf_counter() - launch_t0,
+            {
+                "rows": int(n),
+                "batch": int(batch_size),
+                "members": num_members,
+                "pairs": int(query_ids.size),
+            },
+        )
 
     stats = KernelStats(
         num_threads=n,

@@ -20,6 +20,7 @@ import time
 from typing import Any, Callable
 
 from repro.errors import StreamError
+from repro.obs import trace
 
 __all__ = ["Stream", "StreamOp"]
 
@@ -89,8 +90,22 @@ class Stream:
                 return
             start = time.perf_counter()
             op.run()
-            self.busy_s += time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            self.busy_s += elapsed
             self.ops_completed += 1
+            if trace.is_enabled():
+                # One span per stream op: the copy→kernel→copy FIFO
+                # sequences of §3.3.2, i.e. per-stream occupancy.
+                trace.record(
+                    "stream_op",
+                    start,
+                    elapsed,
+                    {
+                        "label": op.label,
+                        "stream": self.stream_id,
+                        "device": getattr(self.device, "device_id", -1),
+                    },
+                )
 
     def enqueue(self, fn: Callable[[], Any], label: str = "op") -> StreamOp:
         """Submit ``fn`` for asynchronous FIFO execution on this stream."""

@@ -108,13 +108,18 @@ class DeviceClock:
             self.random_access_s = 0.0
             self.launches = 0
 
-    def snapshot(self) -> dict[str, float]:
-        """A consistent copy of all counters (for reports)."""
+    def snapshot(self) -> dict[str, float | int]:
+        """A consistent copy of all counters (for reports).
+
+        ``launches`` is an event count, not a duration — it stays an
+        ``int`` end-to-end so JSON consumers (the bench schema check,
+        the stats verb) can tell counters from seconds.
+        """
         with self._lock:
             return {
                 "kernel_s": self.kernel_s,
                 "transfer_s": self.transfer_s,
                 "atomic_s": self.atomic_s,
                 "random_access_s": self.random_access_s,
-                "launches": float(self.launches),
+                "launches": self.launches,
             }

@@ -1,0 +1,164 @@
+"""Metrics exposition: Prometheus text format, HTTP endpoint, flame text.
+
+Three consumers of the same :class:`~repro.obs.registry.Registry`:
+
+* :func:`render_prometheus` — text exposition format 0.0.4, the lingua
+  franca every scrape stack ingests.  Counters get the ``_total``
+  suffix, histograms the ``_bucket``/``_sum``/``_count`` triplet with
+  cumulative ``le`` edges.
+* :class:`MetricsServer` — a deliberately tiny asyncio HTTP/1.0
+  responder for ``repro serve --metrics-port``; it answers every GET
+  with the current exposition (no routing, no deps).
+* :func:`format_flame` — the ``repro trace`` CLI's per-stage flame
+  summary: share-of-total bars over recent span durations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable
+
+from repro.obs.registry import Counter, Gauge, Histogram, Registry
+
+__all__ = ["render_prometheus", "MetricsServer", "format_flame"]
+
+
+def _label_str(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _fmt(value: float | int) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(registry: Registry) -> str:
+    """Render every registered metric in Prometheus text format."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for name, labels, metric in registry.collect():
+        if isinstance(metric, Counter):
+            type_line(name, "counter")
+            lines.append(f"{name}{_label_str(labels)} {metric.value}")
+        elif isinstance(metric, Gauge):
+            type_line(name, "gauge")
+            lines.append(f"{name}{_label_str(labels)} {_fmt(metric.value)}")
+        elif isinstance(metric, Histogram):
+            type_line(name, "histogram")
+            snap = metric.snapshot()
+            cumulative = 0
+            for bound, count in zip(
+                snap["buckets"]["bounds_s"], snap["buckets"]["counts"]
+            ):
+                cumulative += count
+                edge = dict(labels, le=repr(float(bound)))
+                lines.append(f"{name}_bucket{_label_str(edge)} {cumulative}")
+            edge = dict(labels, le="+Inf")
+            lines.append(f"{name}_bucket{_label_str(edge)} {snap['count']}")
+            lines.append(f"{name}_sum{_label_str(labels)} {_fmt(snap['sum_s'])}")
+            lines.append(f"{name}_count{_label_str(labels)} {snap['count']}")
+    return "\n".join(lines) + "\n"
+
+
+class MetricsServer:
+    """Plaintext metrics endpoint (``GET /metrics`` — or any path).
+
+    ``render_cb`` is called per request so the caller can refresh
+    late-bound state (ingest new trace spans, run collectors) before
+    rendering; it must return the exposition text.
+    """
+
+    def __init__(self, render_cb: Callable[[], str]) -> None:
+        self._render_cb = render_cb
+        self._server: asyncio.base_events.Server | None = None
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._server = await asyncio.start_server(self._handle, host, port)
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            # Drain headers up to the blank line; scrape clients are
+            # well-behaved, so a short timeout bounds the worst case.
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            method = request.split(b" ", 1)[0].upper() if request else b""
+            if method != b"GET":
+                writer.write(b"HTTP/1.0 405 Method Not Allowed\r\n\r\n")
+            else:
+                body = self._render_cb().encode("utf-8")
+                writer.write(
+                    b"HTTP/1.0 200 OK\r\n"
+                    b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode("ascii")
+                )
+                writer.write(body)
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+def format_flame(
+    stages: dict[str, dict[str, float]], width: int = 28
+) -> str:
+    """Render a per-stage flame summary as aligned text bars.
+
+    ``stages`` maps stage name to an aggregate dict with at least
+    ``count`` and ``total_s`` (as produced by
+    :func:`repro.obs.trace.stage_summary` or the ``trace`` verb);
+    optional ``p50_ms``/``p99_ms`` columns render when present.
+    """
+    if not stages:
+        return "(no spans recorded)"
+    total = sum(entry.get("total_s", 0.0) for entry in stages.values()) or 1.0
+    name_w = max(len(name) for name in stages)
+    lines = []
+    ordered = sorted(
+        stages.items(), key=lambda kv: kv[1].get("total_s", 0.0), reverse=True
+    )
+    for name, entry in ordered:
+        share = entry.get("total_s", 0.0) / total
+        filled = int(round(share * width))
+        bar = "#" * filled + "." * (width - filled)
+        line = (
+            f"{name:<{name_w}}  {bar} {share * 100:5.1f}%  "
+            f"n={int(entry.get('count', 0)):<7d} "
+            f"total={entry.get('total_s', 0.0):8.4f}s"
+        )
+        if "p50_ms" in entry:
+            line += f"  p50={entry['p50_ms']:.3f}ms"
+        if "p99_ms" in entry:
+            line += f"  p99={entry['p99_ms']:.3f}ms"
+        lines.append(line)
+    return "\n".join(lines)

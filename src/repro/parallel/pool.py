@@ -32,6 +32,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import BackendError
+from repro.obs import trace as obs_trace
 from repro.parallel.shm_store import StoreManifest, attach_views
 
 __all__ = ["PoolTask", "ShmProcessPool", "default_start_method"]
@@ -112,19 +113,42 @@ def _worker_main(slot: int, manifest: StoreManifest, params, conn) -> None:
     # instead of dying mid-task with a KeyboardInterrupt traceback.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     shm, views = attach_views(manifest)
-    conn.send((_READY, slot, os.getpid()))
+    tracer = obs_trace.TRACER
+    pid = os.getpid()
+    conn.send((_READY, slot, pid))
     try:
         while True:
             task = conn.recv()
             if task is None:
                 return
-            task_id, kind, payload = task
+            # Every task carries the host's tracing flag (§ the host may
+            # flip tracing at any time, workers are long-lived), so the
+            # worker-local tracer always mirrors the host state.
+            task_id, kind, payload, want_trace = task
+            if want_trace != tracer.is_enabled():
+                if want_trace:
+                    tracer.enable()
+                else:
+                    tracer.disable()
+                tracer.clear()
             try:
                 out = _execute_task(kind, payload, views, params)
             except BaseException as exc:  # noqa: BLE001 - shipped to the host
-                conn.send((task_id, False, f"{type(exc).__name__}: {exc}"))
+                conn.send((task_id, False, f"{type(exc).__name__}: {exc}", []))
             else:
-                conn.send((task_id, True, out))
+                # Tasks run strictly sequentially, so draining after one
+                # task exports exactly that task's spans: the per-worker
+                # buffer rides the result pipe and the host collector
+                # merges it (workers cannot reach the host tracer).
+                spans = (
+                    [
+                        (name, t0, dur, {**attrs, "worker": slot, "pid": pid})
+                        for name, t0, dur, attrs in tracer.drain()
+                    ]
+                    if want_trace
+                    else []
+                )
+                conn.send((task_id, True, out, spans))
     except EOFError:  # parent went away
         pass
     finally:
@@ -240,7 +264,9 @@ class ShmProcessPool:
             self._outstanding[slot] += 1
         try:
             with self._send_locks[slot]:
-                self._conns[slot].send((task.task_id, task.kind, task.payload))
+                self._conns[slot].send(
+                    (task.task_id, task.kind, task.payload, obs_trace.is_enabled())
+                )
         except (BrokenPipeError, OSError):
             # The worker died under us.  Leave task.slot pointing at the
             # dead slot: the monitor resubmits it right after the respawn.
@@ -342,7 +368,13 @@ class ShmProcessPool:
                     continue  # dead worker; the monitor handles it
                 if not item or item[0] == _READY:
                     continue
-                task_id, ok, out = item
+                task_id, ok, out, spans = item
+                if spans:
+                    # Merge the worker's span buffer into the host
+                    # tracer: cross-process stage attribution with no
+                    # shared memory and no extra pipe traffic when
+                    # tracing is off.
+                    obs_trace.merge(spans)
                 with self._lock:
                     task = self._inflight.pop(task_id, None)
                     if task is not None and task.slot is not None:

@@ -39,8 +39,17 @@ class AdaptiveDeadline:
         self.min_s = float(min_s)
         self.max_s = float(max_s)
 
+    #: Flush reasons that reflect steady-state traffic.  Anything else
+    #: (``shutdown`` drains, explicit ``flush_now`` calls) says nothing
+    #: about arrival rate, so adapting on it would corrupt the deadline —
+    #: e.g. a near-empty shutdown drain shrinking ``current_s`` to the
+    #: floor right before a snapshot/restart.
+    STEADY_REASONS = frozenset({"full", "timeout"})
+
     def observe(self, reason: str, occupancy: int, batch_size: int) -> None:
-        """Update the deadline after one flush."""
+        """Update the deadline after one steady-state flush."""
+        if reason not in self.STEADY_REASONS:
+            return
         if reason == "full":
             self.current_s = max(self.min_s, self.current_s * 0.95)
         elif occupancy >= self.BUSY_FRACTION * batch_size:

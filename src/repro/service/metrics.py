@@ -4,23 +4,66 @@ Counters are mutated from the event-loop thread only; ``snapshot()``
 renders a JSON-safe dict with the quantities the benchmarks and the
 acceptance criteria care about: qps, batch occupancy, latency
 percentiles, delta size, reconsolidation count, and overload rejects.
+
+Since the observability layer landed, :class:`ServiceMetrics` is a thin
+façade over one :class:`repro.obs.registry.Registry`:
+
+* publish latency is a fixed-bucket :class:`~repro.obs.registry.Histogram`
+  (``repro_publish_latency_seconds``) instead of a raw-sample reservoir,
+* ``qps`` is a :class:`~repro.obs.registry.SlidingRate` over a trailing
+  window — the seed divided lifetime publishes by lifetime uptime, so a
+  server that idled overnight reported a throughput near zero forever
+  (the old number survives as ``lifetime_qps``),
+* pipeline spans ingested via :meth:`ingest_spans` become per-stage
+  ``repro_stage_seconds{stage=...}`` histograms — the paper's §4.3 stage
+  breakdown, live,
+* the plain attribute counters (``subscribes``, ``overloads``, …) are
+  mirrored into registry counters by a collector at render time, so the
+  Prometheus endpoint and the ``stats`` verb can never disagree.
 """
 
 from __future__ import annotations
 
 import time
-from collections import deque
+from typing import Any, Callable, Iterable
 
-import numpy as np
+from repro.obs.registry import Histogram, Registry, SlidingRate
+from repro.obs.trace import STAGES, Span
 
 __all__ = ["ServiceMetrics"]
 
+#: Attribute counters mirrored into ``repro_<name>_total`` registry
+#: counters by the render-time collector.
+_COUNTER_ATTRS = (
+    "publishes",
+    "subscribes",
+    "unsubscribes",
+    "overloads",
+    "errors",
+    "batches",
+    "batched_queries",
+    "reconsolidations",
+)
+
 
 class ServiceMetrics:
-    """Aggregate counters + a bounded latency reservoir."""
+    """Aggregate counters + fixed-bucket latency/stage histograms.
 
-    def __init__(self, latency_window: int = 4096) -> None:
-        self.started_at = time.perf_counter()
+    ``latency_window`` is accepted for backward compatibility with the
+    reservoir-based seed; the histogram needs no sample window.
+    """
+
+    def __init__(
+        self,
+        latency_window: int = 4096,
+        *,
+        rate_window_s: float = 30.0,
+        registry: Registry | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.registry = registry if registry is not None else Registry()
+        self._clock = clock
+        self.started_at = clock()
         self.publishes = 0
         self.subscribes = 0
         self.unsubscribes = 0
@@ -30,7 +73,16 @@ class ServiceMetrics:
         self.batched_queries = 0
         self.flush_reasons = {"full": 0, "timeout": 0, "shutdown": 0}
         self.reconsolidations = 0
-        self.latencies_s: deque[float] = deque(maxlen=latency_window)
+        self._rate = SlidingRate(rate_window_s, clock=clock)
+        self.latency = self.registry.histogram("repro_publish_latency_seconds")
+        # Pre-create the four canonical stage histograms so the stats
+        # verb and the metrics endpoint always expose the full §4.3
+        # breakdown, even before the first span arrives.
+        self._stage_hists: dict[str, Histogram] = {
+            stage: self.registry.histogram("repro_stage_seconds", stage=stage)
+            for stage in STAGES
+        }
+        self.registry.register_collector(self._mirror_counters)
 
     # ------------------------------------------------------------------
     def record_batch(self, occupancy: int, reason: str) -> None:
@@ -40,7 +92,52 @@ class ServiceMetrics:
 
     def record_publish(self, latency_s: float) -> None:
         self.publishes += 1
-        self.latencies_s.append(latency_s)
+        self._rate.record()
+        self.latency.observe(latency_s)
+
+    def ingest_spans(self, spans: Iterable[Span]) -> None:
+        """Feed tracer spans into the per-stage latency histograms."""
+        for span in spans:
+            hist = self._stage_hists.get(span.name)
+            if hist is None:
+                hist = self.registry.histogram(
+                    "repro_stage_seconds", stage=span.name
+                )
+                self._stage_hists[span.name] = hist
+            hist.observe(span.duration_s)
+
+    # ------------------------------------------------------------------
+    def _mirror_counters(self) -> None:
+        """Collector: sync plain attributes into the registry.
+
+        Attributes only ever grow, so pushing the delta keeps the
+        registry counters monotonic; the gauges are plain mirrors.
+        """
+        for attr in _COUNTER_ATTRS:
+            counter = self.registry.counter(f"repro_{attr}_total")
+            counter.inc(getattr(self, attr) - counter.value)
+        for reason, count in self.flush_reasons.items():
+            counter = self.registry.counter("repro_flushes_total", reason=reason)
+            counter.inc(count - counter.value)
+        self.registry.gauge("repro_publish_rate_qps").set(self._rate.rate())
+        self.registry.gauge("repro_uptime_seconds").set(
+            self._clock() - self.started_at
+        )
+
+    def stage_snapshot(self) -> dict[str, dict[str, Any]]:
+        """Per-stage latency summary in milliseconds (stats verb v2)."""
+        stages: dict[str, dict[str, Any]] = {}
+        for name, hist in sorted(self._stage_hists.items()):
+            snap = hist.snapshot()
+            stages[name] = {
+                "count": snap["count"],
+                "total_s": snap["sum_s"],
+                "p50_ms": snap["p50_s"] * 1e3,
+                "p90_ms": snap["p90_s"] * 1e3,
+                "p99_ms": snap["p99_s"] * 1e3,
+                "max_ms": snap["max_s"] * 1e3,
+            }
+        return stages
 
     # ------------------------------------------------------------------
     def snapshot(
@@ -52,21 +149,16 @@ class ServiceMetrics:
         deadline_s: float,
         connections: int,
         memo: dict | None = None,
+        device: dict | None = None,
     ) -> dict:
-        elapsed = max(time.perf_counter() - self.started_at, 1e-9)
-        lat = np.array(self.latencies_s, dtype=np.float64) * 1e3
-        percentiles = (
-            {
-                "p50_ms": float(np.percentile(lat, 50)),
-                "p99_ms": float(np.percentile(lat, 99)),
-                "max_ms": float(lat.max()),
-            }
-            if lat.size
-            else {"p50_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
-        )
+        elapsed = max(self._clock() - self.started_at, 1e-9)
+        lat = self.latency.snapshot()
         return {
             "uptime_s": elapsed,
-            "qps": self.publishes / elapsed,
+            #: Windowed rate — an idle window reads 0.0 and recovers
+            #: immediately under load, unlike the lifetime average.
+            "qps": self._rate.rate(),
+            "lifetime_qps": self.publishes / elapsed,
             "publishes": self.publishes,
             "subscribes": self.subscribes,
             "unsubscribes": self.unsubscribes,
@@ -78,7 +170,16 @@ class ServiceMetrics:
             ),
             "flush_reasons": dict(self.flush_reasons),
             "batch_deadline_ms": deadline_s * 1e3,
-            "latency": percentiles,
+            "latency": {
+                "p50_ms": lat["p50_s"] * 1e3,
+                "p90_ms": lat["p90_s"] * 1e3,
+                "p99_ms": lat["p99_s"] * 1e3,
+                "max_ms": lat["max_s"] * 1e3,
+            },
+            #: §4.3's per-stage breakdown, from ingested tracer spans.
+            "stages": self.stage_snapshot(),
+            #: Simulated device clocks (per device), integer launches.
+            "device": device,
             "epoch": epoch,
             "delta_size": delta_size,
             "reconsolidations": self.reconsolidations,

@@ -16,6 +16,8 @@ Verbs
             or ``{ok: false, error: "overload"}`` under admission
             control.
 ``stats``   server metrics snapshot (see :mod:`repro.service.metrics`).
+``trace``   per-stage span summary from the observability layer
+            (``{limit?}`` caps the span window; see :mod:`repro.obs`).
 ``reconsolidate``  force a background index rebuild + epoch swap.
 ``ping``    liveness probe.
 """
@@ -47,7 +49,7 @@ _LEN = struct.Struct("!I")
 #: Default hard cap on a single frame (the server's is configurable).
 MAX_FRAME_BYTES = 8 * 1024 * 1024
 
-VERBS = ("sub", "unsub", "pub", "stats", "reconsolidate", "ping")
+VERBS = ("sub", "unsub", "pub", "stats", "trace", "reconsolidate", "ping")
 
 
 class ProtocolError(ReproError):
@@ -193,6 +195,11 @@ class ServiceClient:
 
     async def stats(self) -> dict[str, Any]:
         return self._checked(await self.request("stats"))["stats"]
+
+    async def trace(self, limit: int | None = None) -> dict[str, Any]:
+        """Per-stage span summary (the ``repro trace`` CLI's data)."""
+        payload = {} if limit is None else {"limit": int(limit)}
+        return self._checked(await self.request("trace", **payload))["trace"]
 
     async def reconsolidate(self) -> int:
         """Force an index rebuild; returns the new epoch."""

@@ -33,6 +33,9 @@ from repro.core.config import ServiceConfig
 from repro.core.engine import TagMatch
 from repro.core.memo import QueryMemo
 from repro.errors import ValidationError
+from repro.obs import trace
+from repro.obs.export import MetricsServer, render_prometheus
+from repro.obs.trace import stage_summary
 from repro.service.batcher import AdaptiveDeadline, IngressBatcher
 from repro.service.delta import DeltaStore, DeltaView, apply_delta
 from repro.service.metrics import ServiceMetrics
@@ -82,7 +85,14 @@ class MatchServer:
         self.config = config if config is not None else ServiceConfig()
         self.engine = engine
         self.snapshot_path = snapshot_path
-        self.metrics = ServiceMetrics(self.config.latency_window)
+        self.metrics = ServiceMetrics(
+            self.config.latency_window, rate_window_s=self.config.rate_window_s
+        )
+        #: Read position into the global tracer ring: stats/metrics
+        #: renders pull only the spans recorded since the last pull.
+        self._trace_cursor = 0
+        self._metrics_server: MetricsServer | None = None
+        self.metrics.registry.register_collector(self._collect_gauges)
         self._hasher = engine.hasher
         self.delta = DeltaStore(engine.hasher.num_blocks)
         self.delta.rebase(engine.database.blocks, engine.database.keys)
@@ -121,9 +131,16 @@ class MatchServer:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
+        if self.config.trace:
+            trace.enable()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
+        if self.config.metrics_port is not None:
+            self._metrics_server = MetricsServer(self._render_metrics)
+            await self._metrics_server.start(
+                self.config.host, self.config.metrics_port
+            )
         if self.config.reconsolidate_threshold:
             self._recon_task = asyncio.get_running_loop().create_task(
                 self._recon_loop()
@@ -133,6 +150,11 @@ class MatchServer:
     def port(self) -> int:
         assert self._server is not None
         return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def metrics_port(self) -> int | None:
+        """Bound Prometheus endpoint port; ``None`` when disabled."""
+        return self._metrics_server.port if self._metrics_server else None
 
     async def shutdown(self) -> None:
         """Graceful stop: drain in-flight batches, then close the engine.
@@ -149,6 +171,8 @@ class MatchServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._metrics_server is not None:
+            await self._metrics_server.close()
         self._batcher.flush_now("shutdown")
         try:
             await asyncio.wait_for(self._idle.wait(), timeout=_DRAIN_TIMEOUT_S)
@@ -217,6 +241,12 @@ class MatchServer:
             elif verb == "stats":
                 await self._send(
                     conn, {"id": req_id, "ok": True, "stats": self.stats()}
+                )
+            elif verb == "trace":
+                limit = int(message.get("limit") or 2048)
+                await self._send(
+                    conn,
+                    {"id": req_id, "ok": True, "trace": self.trace_summary(limit)},
                 )
             elif verb == "reconsolidate":
                 epoch = await self.reconsolidate()
@@ -371,9 +401,12 @@ class MatchServer:
             for signature, keys in zip(signatures, run.results):
                 # Frozen multiset keys only: callers overlay the delta on
                 # top, so the cached value stays valid for the epoch.
-                self._memo.put(epoch, signature, keys)
+                # The memo freezes the array; propagating its read-only
+                # view (not the writable original) means no consumer can
+                # mutate what later hits will be served from.
+                cached = self._memo.put(epoch, signature, keys)
                 for slot in miss_slots[signature]:
-                    frozen[slot] = keys
+                    frozen[slot] = cached
         results = apply_delta(frozen, blocks, view, unique_flags)
         return results, epoch
 
@@ -475,7 +508,75 @@ class MatchServer:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def _ingest_trace(self) -> None:
+        """Pull spans recorded since the last render into the metrics.
+
+        Lazy by design: matcher threads only append to the tracer ring;
+        the histogram updates happen here, on the introspection path,
+        so the hot path never pays for bucketing.
+        """
+        self._trace_cursor, spans = trace.since(self._trace_cursor)
+        if spans:
+            self.metrics.ingest_spans(spans)
+
+    def _collect_gauges(self) -> None:
+        """Registry collector: late-bound server state, read at render."""
+        reg = self.metrics.registry
+        reg.gauge("repro_inflight").set(self._inflight)
+        reg.gauge("repro_connections").set(len(self._conns))
+        reg.gauge("repro_delta_size").set(self.delta.size)
+        reg.gauge("repro_epoch").set(self.engine.epoch)
+        reg.gauge("repro_batch_deadline_seconds").set(
+            self._batcher.deadline.current_s
+        )
+        # Device clocks are gauges, not counters: a reconsolidation
+        # swaps in a fresh engine whose clocks restart at zero.
+        for dev in self.engine.devices:
+            snap = dev.clock.snapshot()
+            reg.gauge("repro_device_kernel_seconds", device=dev.device_id).set(
+                snap["kernel_s"]
+            )
+            reg.gauge("repro_device_transfer_seconds", device=dev.device_id).set(
+                snap["transfer_s"]
+            )
+            reg.gauge("repro_device_launches", device=dev.device_id).set(
+                snap["launches"]
+            )
+        if self._memo is not None:
+            memo = self._memo.stats()
+            reg.gauge("repro_memo_size").set(memo["size"])
+            reg.gauge("repro_memo_hits").set(memo["hits"])
+            reg.gauge("repro_memo_misses").set(memo["misses"])
+
+    def _render_metrics(self) -> str:
+        self._ingest_trace()
+        return render_prometheus(self.metrics.registry)
+
+    def trace_summary(self, limit: int = 2048) -> dict:
+        """The ``trace`` verb: per-stage aggregate over recent spans.
+
+        Wall-clock aggregates come from the tracer ring (bounded
+        window); the p50/p99 columns come from the lifetime stage
+        histograms, which never drop samples.
+        """
+        self._ingest_trace()
+        spans = trace.recent(limit)
+        stages = stage_summary(spans)
+        hist = self.metrics.stage_snapshot()
+        for name, entry in stages.items():
+            percentiles = hist.get(name)
+            if percentiles and percentiles["count"]:
+                entry["p50_ms"] = percentiles["p50_ms"]
+                entry["p99_ms"] = percentiles["p99_ms"]
+        return {
+            "enabled": trace.is_enabled(),
+            "span_count": trace.count(),
+            "window": len(spans),
+            "stages": stages,
+        }
+
     def stats(self) -> dict:
+        self._ingest_trace()
         return self.metrics.snapshot(
             epoch=self.engine.epoch,
             delta_size=self.delta.size,
@@ -483,6 +584,10 @@ class MatchServer:
             deadline_s=self._batcher.deadline.current_s,
             connections=len(self._conns),
             memo=self._memo.stats() if self._memo is not None else None,
+            device={
+                str(dev.device_id): dev.clock.snapshot()
+                for dev in self.engine.devices
+            },
         )
 
 

@@ -64,3 +64,31 @@ def test_clear_empties_but_keeps_counters():
 def test_nonpositive_capacity_rejected(capacity):
     with pytest.raises(ValidationError):
         QueryMemo(capacity)
+
+
+# ----------------------------------------------------------------------
+# Aliasing regression: stored arrays must be immutable (PR 5 bugfix).
+# Before the fix, get()/put() handed out the same writable ndarray to
+# every caller — one in-place sort or resize poisoned all later hits.
+# ----------------------------------------------------------------------
+def test_stored_arrays_are_read_only():
+    memo = QueryMemo(4)
+    memo.put(1, b"q", keys(3, 1, 2))
+    cached = memo.get(1, b"q")
+    assert not cached.flags.writeable
+    with pytest.raises(ValueError):
+        cached[0] = 99
+    with pytest.raises(ValueError):
+        cached.sort()
+    np.testing.assert_array_equal(memo.get(1, b"q"), keys(3, 1, 2))
+
+
+def test_put_returns_the_frozen_view():
+    memo = QueryMemo(4)
+    original = keys(5, 6)
+    stored = memo.put(1, b"q", original)
+    assert not stored.flags.writeable
+    np.testing.assert_array_equal(stored, original)
+    # The caller's own array stays writable — only the memo's view froze.
+    original_still_writable = original.flags.writeable
+    assert original_still_writable

@@ -167,3 +167,14 @@ class TestCostModel:
         device.clock.add_random_access(0.125)
         snap = device.clock.snapshot()
         assert snap["random_access_s"] == 0.125
+
+    def test_clock_snapshot_launches_stay_integral(self, device):
+        # Regression (PR 5): snapshot() used to coerce the launch count
+        # to float, so JSON consumers saw "launches": 3.0 and the bench
+        # schema check could not distinguish counters from durations.
+        device.clock.add_kernel(1e-6)
+        device.clock.add_kernel(1e-6)
+        snap = device.clock.snapshot()
+        assert snap["launches"] == 2
+        assert isinstance(snap["launches"], int)
+        assert not isinstance(snap["launches"], bool)

@@ -1,0 +1,85 @@
+"""Prometheus exposition, the metrics HTTP endpoint, and the flame text."""
+
+import asyncio
+import urllib.request
+
+from repro.obs.export import MetricsServer, format_flame, render_prometheus
+from repro.obs.registry import Registry
+
+
+def _sample_registry() -> Registry:
+    reg = Registry()
+    reg.counter("repro_publishes_total").inc(7)
+    reg.gauge("repro_inflight").set(2)
+    h = reg.histogram("repro_stage_seconds", buckets=(0.001, 0.01), stage="kernel")
+    h.observe(0.0005)
+    h.observe(0.005)
+    h.observe(5.0)  # overflow
+    return reg
+
+
+def test_render_prometheus_counter_gauge_histogram():
+    text = render_prometheus(_sample_registry())
+    lines = text.splitlines()
+    assert "# TYPE repro_publishes_total counter" in lines
+    assert "repro_publishes_total 7" in lines
+    assert "repro_inflight 2" in lines
+    # Histogram buckets are cumulative and end with +Inf == count.
+    assert 'repro_stage_seconds_bucket{le="0.001",stage="kernel"} 1' in lines
+    assert 'repro_stage_seconds_bucket{le="0.01",stage="kernel"} 2' in lines
+    assert 'repro_stage_seconds_bucket{le="+Inf",stage="kernel"} 3' in lines
+    assert 'repro_stage_seconds_count{stage="kernel"} 3' in lines
+    assert text.endswith("\n")
+
+
+def test_metrics_server_serves_exposition_over_http():
+    reg = _sample_registry()
+
+    async def run() -> str:
+        server = MetricsServer(lambda: render_prometheus(reg))
+        await server.start("127.0.0.1", 0)
+        url = f"http://127.0.0.1:{server.port}/metrics"
+        try:
+            return await asyncio.to_thread(
+                lambda: urllib.request.urlopen(url, timeout=5).read().decode()
+            )
+        finally:
+            await server.close()
+
+    body = asyncio.run(run())
+    assert "repro_publishes_total 7" in body
+    assert "repro_stage_seconds_bucket" in body
+
+
+def test_metrics_server_rejects_non_get():
+    async def run() -> bytes:
+        server = MetricsServer(lambda: "")
+        await server.start("127.0.0.1", 0)
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(b"POST /metrics HTTP/1.0\r\n\r\n")
+            await writer.drain()
+            reply = await reader.read(64)
+            writer.close()
+            return reply
+        finally:
+            await server.close()
+
+    assert b"405" in asyncio.run(run())
+
+
+def test_format_flame_orders_by_share():
+    stages = {
+        "kernel": {"count": 10, "total_s": 3.0, "p50_ms": 1.0, "p99_ms": 9.0},
+        "transfer": {"count": 5, "total_s": 1.0},
+    }
+    text = format_flame(stages)
+    kernel_line, transfer_line = text.splitlines()
+    assert kernel_line.startswith("kernel")
+    assert "75.0%" in kernel_line
+    assert "p99=9.000ms" in kernel_line
+    assert transfer_line.startswith("transfer")
+
+
+def test_format_flame_empty():
+    assert "no spans" in format_flame({})

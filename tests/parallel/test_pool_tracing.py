@@ -1,0 +1,81 @@
+"""Cross-process span shipping: pool workers' spans reach the host tracer.
+
+Process-pool workers run kernels in their own interpreter, where the
+host's tracer object does not exist.  The pipe protocol ships each
+task's spans back alongside its result and the collector merges them, so
+per-stage accounting stays complete whichever backend executes stage 2.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.config import TagMatchConfig
+from repro.core.engine import TagMatch
+from repro.obs import trace
+
+NUM_TAGS = 32
+
+
+def _tags(indices):
+    return {f"tag-{i}" for i in indices}
+
+
+@pytest.fixture
+def process_engine():
+    with warnings.catch_warnings():
+        # A downgrade warning would mean we are not testing the pool.
+        warnings.simplefilter("error", RuntimeWarning)
+        engine = TagMatch(
+            TagMatchConfig(
+                max_partition_size=16,
+                batch_size=8,
+                batch_timeout_s=0.01,
+                num_threads=2,
+                backend="process",
+                backend_workers=2,
+            )
+        )
+    rng = np.random.default_rng(3)
+    for key in range(120):
+        chosen = rng.choice(NUM_TAGS, size=int(rng.integers(1, 5)), replace=False)
+        engine.add_set(_tags(chosen), key=key)
+    engine.consolidate()
+    yield engine
+    engine.close()
+    trace.disable()
+    trace.clear()
+
+
+def _queries(n=24, seed=11):
+    rng = np.random.default_rng(seed)
+    sets = [
+        _tags(rng.choice(NUM_TAGS, size=int(rng.integers(2, 8)), replace=False))
+        for _ in range(n)
+    ]
+    return sets
+
+
+def test_worker_kernel_spans_are_merged_into_host_tracer(process_engine):
+    trace.enable()
+    trace.clear()
+    blocks = process_engine.encode_queries(_queries())
+    process_engine.match_stream(blocks, unique=False)
+    spans = [s for s in trace.recent(10_000) if s.name == "kernel"]
+    assert spans, "no kernel spans shipped back from pool workers"
+    workers = {s.attrs.get("worker") for s in spans}
+    pids = {s.attrs.get("pid") for s in spans}
+    assert all(w is not None for w in workers)
+    assert all(p is not None for p in pids)
+    # Worker spans carry the kernel's own attribution.
+    assert all(s.attrs["rows"] > 0 for s in spans)
+    assert all(s.duration_s >= 0.0 for s in spans)
+
+
+def test_disabled_tracer_ships_no_spans(process_engine):
+    trace.disable()
+    trace.clear()
+    blocks = process_engine.encode_queries(_queries(seed=12))
+    process_engine.match_stream(blocks, unique=False)
+    assert trace.count() == 0

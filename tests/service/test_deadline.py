@@ -1,0 +1,110 @@
+"""The AIMD ingress-deadline controller state machine.
+
+Covers every transition of :class:`AdaptiveDeadline.observe` — full,
+busy timeout, starved timeout, shutdown — plus the min/max clamps and
+the PR 5 regression: non-steady-state flushes must not adapt.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.service.batcher import AdaptiveDeadline, IngressBatcher
+
+
+def make(initial=0.010, lo=0.001, hi=0.100):
+    return AdaptiveDeadline(initial, lo, hi)
+
+
+# ----------------------------------------------------------------------
+# Steady-state transitions
+# ----------------------------------------------------------------------
+def test_full_flush_shrinks_multiplicatively():
+    d = make()
+    d.observe("full", occupancy=64, batch_size=64)
+    assert d.current_s == pytest.approx(0.010 * 0.95)
+
+
+def test_busy_timeout_grows_multiplicatively():
+    d = make()
+    # Occupancy >= 50% of the batch: a slightly longer wait would fill.
+    d.observe("timeout", occupancy=32, batch_size=64)
+    assert d.current_s == pytest.approx(0.010 * 1.25)
+
+
+def test_starved_timeout_shrinks():
+    d = make()
+    # Mostly-empty timeout flush: traffic too light for batching to pay.
+    d.observe("timeout", occupancy=3, batch_size=64)
+    assert d.current_s == pytest.approx(0.010 * 0.8)
+
+
+def test_busy_fraction_boundary_is_inclusive():
+    d = make()
+    d.observe("timeout", occupancy=int(64 * AdaptiveDeadline.BUSY_FRACTION), batch_size=64)
+    assert d.current_s > 0.010  # exactly at the fraction counts as busy
+
+
+def test_full_flush_clamps_at_min():
+    d = make(initial=0.001, lo=0.001, hi=0.100)
+    d.observe("full", occupancy=64, batch_size=64)
+    assert d.current_s == 0.001
+
+
+def test_busy_timeout_clamps_at_max():
+    d = make(initial=0.100, lo=0.001, hi=0.100)
+    d.observe("timeout", occupancy=64, batch_size=64)
+    assert d.current_s == 0.100
+
+
+def test_converges_into_bounds_under_sustained_pressure():
+    d = make()
+    for _ in range(200):
+        d.observe("timeout", occupancy=60, batch_size=64)
+    assert d.current_s == d.max_s
+    for _ in range(200):
+        d.observe("timeout", occupancy=1, batch_size=64)
+    assert d.current_s == d.min_s
+
+
+# ----------------------------------------------------------------------
+# Regression (PR 5): non-steady-state reasons must not adapt
+# ----------------------------------------------------------------------
+def test_shutdown_flush_does_not_mutate_deadline():
+    d = make()
+    # A shutdown drain is almost always nearly empty; before the fix it
+    # took the "starved" branch and shrank the deadline by 0.8x.
+    d.observe("shutdown", occupancy=1, batch_size=64)
+    assert d.current_s == 0.010
+    d.observe("shutdown", occupancy=64, batch_size=64)
+    assert d.current_s == 0.010
+
+
+def test_unknown_reasons_are_ignored_too():
+    d = make()
+    d.observe("drain", occupancy=0, batch_size=64)
+    assert d.current_s == 0.010
+
+
+def test_steady_reasons_set_is_full_and_timeout():
+    assert AdaptiveDeadline.STEADY_REASONS == frozenset({"full", "timeout"})
+
+
+def test_flush_now_leaves_deadline_unchanged_end_to_end():
+    """IngressBatcher.flush_now("shutdown") reaches observe() — and the
+    controller must come out untouched (the original bug's call path)."""
+
+    async def run() -> float:
+        flushed = []
+        deadline = make()
+        batcher = IngressBatcher(
+            lambda batch, reason: flushed.append(reason), 64, 3, deadline
+        )
+        batcher.add(np.zeros(3, dtype=np.uint64), ticket=object())
+        batcher.flush_now("shutdown")
+        batcher.close()
+        assert flushed == ["shutdown"]
+        return deadline.current_s
+
+    assert asyncio.run(run()) == 0.010

@@ -1,0 +1,136 @@
+"""ServiceMetrics: windowed qps (PR 5 regression), stages, registry sync."""
+
+import pytest
+
+from repro.obs.trace import STAGES, Span
+from repro.service.metrics import ServiceMetrics
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def snap(metrics, **over):
+    defaults = dict(
+        epoch=1, delta_size=0, inflight=0, deadline_s=0.01, connections=0
+    )
+    defaults.update(over)
+    return metrics.snapshot(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Regression (PR 5): qps must not decay with idle uptime
+# ----------------------------------------------------------------------
+def test_qps_survives_idle_periods():
+    clock = FakeClock()
+    m = ServiceMetrics(rate_window_s=10.0, clock=clock)
+    clock.advance(3600.0)  # an hour of idle before any traffic
+    for _ in range(50):
+        m.record_publish(0.002)
+        clock.advance(0.1)
+    stats = snap(m)
+    # The windowed rate sees 50 publishes over 5s; the seed's lifetime
+    # average reported ~0.014/s after the idle hour.
+    assert stats["qps"] == pytest.approx(5.0, rel=0.3)
+    assert stats["lifetime_qps"] < 0.1
+
+
+def test_qps_decays_to_zero_after_traffic_stops():
+    clock = FakeClock()
+    m = ServiceMetrics(rate_window_s=5.0, clock=clock)
+    for _ in range(10):
+        m.record_publish(0.001)
+    assert snap(m)["qps"] > 0.0
+    clock.advance(60.0)
+    assert snap(m)["qps"] == 0.0
+    assert snap(m)["publishes"] == 10  # the counter itself never decays
+
+
+# ----------------------------------------------------------------------
+# Latency histogram replaces the reservoir
+# ----------------------------------------------------------------------
+def test_latency_percentiles_come_from_histogram():
+    m = ServiceMetrics()
+    for _ in range(99):
+        m.record_publish(0.002)
+    m.record_publish(1.9)
+    lat = snap(m)["latency"]
+    assert 1.0 <= lat["p50_ms"] <= 2.5
+    assert lat["p99_ms"] >= lat["p90_ms"] >= lat["p50_ms"]
+    assert lat["max_ms"] == pytest.approx(1900.0)
+
+
+# ----------------------------------------------------------------------
+# Stage histograms from ingested spans
+# ----------------------------------------------------------------------
+def test_snapshot_always_exposes_the_four_canonical_stages():
+    stages = snap(ServiceMetrics())["stages"]
+    for name in STAGES:
+        assert stages[name]["count"] == 0
+
+
+def test_ingest_spans_populates_stage_histograms():
+    m = ServiceMetrics()
+    m.ingest_spans(
+        [
+            Span("kernel", 0.0, 0.004, {}),
+            Span("kernel", 0.0, 0.006, {}),
+            Span("transfer", 0.0, 0.001, {}),
+            Span("stream_op", 0.0, 0.002, {}),  # non-canonical: auto-added
+        ]
+    )
+    stages = snap(m)["stages"]
+    assert stages["kernel"]["count"] == 2
+    assert stages["kernel"]["total_s"] == pytest.approx(0.010)
+    assert stages["kernel"]["p99_ms"] > 0.0
+    assert stages["transfer"]["count"] == 1
+    assert stages["stream_op"]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# Registry mirror: stats verb and Prometheus can never disagree
+# ----------------------------------------------------------------------
+def test_registry_mirrors_attribute_counters():
+    m = ServiceMetrics()
+    m.subscribes += 3
+    m.overloads += 1
+    m.record_batch(10, "timeout")
+    m.record_publish(0.001)
+    reg = m.registry.snapshot()
+    assert reg["repro_subscribes_total"] == 3
+    assert reg["repro_overloads_total"] == 1
+    assert reg["repro_batches_total"] == 1
+    assert reg["repro_publishes_total"] == 1
+    assert reg["repro_flushes_total"]["reason=timeout"] == 1
+    # Render twice: the delta-sync must not double count.
+    assert m.registry.snapshot()["repro_subscribes_total"] == 3
+
+
+def test_snapshot_keeps_seed_keys_and_adds_device_section():
+    m = ServiceMetrics()
+    stats = snap(m, device={"0": {"kernel_s": 0.0, "launches": 4}}, memo=None)
+    for key in (
+        "uptime_s",
+        "qps",
+        "publishes",
+        "overloads",
+        "batches",
+        "batch_occupancy",
+        "flush_reasons",
+        "latency",
+        "epoch",
+        "delta_size",
+        "reconsolidations",
+        "inflight",
+        "connections",
+        "memo",
+    ):
+        assert key in stats
+    assert stats["device"]["0"]["launches"] == 4

@@ -1,0 +1,48 @@
+"""Repository hygiene guards.
+
+``tests/cluster/`` once existed as a directory holding nothing but an
+orphaned ``__pycache__`` — dead weight that pytest happily collected
+nothing from.  These checks keep bytecode artifacts out of version
+control and empty test shells out of the tree.
+"""
+
+import subprocess
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _tracked_files() -> list[str]:
+    out = subprocess.run(
+        ["git", "ls-files"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return out.stdout.splitlines()
+
+
+def test_no_bytecode_artifacts_are_tracked():
+    offenders = [
+        path
+        for path in _tracked_files()
+        if "__pycache__" in path or path.endswith((".pyc", ".pyo"))
+    ]
+    assert offenders == [], f"bytecode artifacts committed: {offenders}"
+
+
+def test_gitignore_covers_pycache():
+    gitignore = (REPO_ROOT / ".gitignore").read_text()
+    assert "__pycache__" in gitignore
+
+
+def test_no_test_directory_is_an_empty_shell():
+    """Every tests/ subdirectory must contain at least one test module
+    (the tests/cluster regression: a directory of only __pycache__)."""
+    tests_root = REPO_ROOT / "tests"
+    for sub in sorted(p for p in tests_root.iterdir() if p.is_dir()):
+        if sub.name == "__pycache__":
+            continue
+        modules = list(sub.glob("test_*.py")) + list(sub.glob("bench_*.py"))
+        assert modules, f"{sub.relative_to(REPO_ROOT)} contains no test modules"
